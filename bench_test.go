@@ -1,0 +1,235 @@
+// Package repro's root benchmarks regenerate every experiment of
+// EXPERIMENTS.md as testing.B targets, one per table/figure:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the experiment's headline quantities via
+// b.ReportMetric (speedups, reductions, byte ratios), so the paper-shape
+// check does not require reading logs.
+package repro_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+func benchGWAS() workloads.GWASConfig {
+	// The paper-shaped default: 23 chromosomes × 100 imputations gives a
+	// parallel phase ~2300 tasks wide, enough to exercise tens of
+	// 48-core nodes.
+	return workloads.DefaultGWAS()
+}
+
+// BenchmarkE1GuidanceScalability regenerates the scalability series
+// (paper Sec. VI-A: up to 100 nodes / 4800 cores, good scalability).
+func BenchmarkE1GuidanceScalability(b *testing.B) {
+	var lastSpeedup float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.E1Guidance([]int{1, 4, 16, 64}, benchGWAS())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastSpeedup = points[len(points)-1].Speedup
+	}
+	b.ReportMetric(lastSpeedup, "speedup@64nodes")
+}
+
+// BenchmarkE2MemoryConstraints regenerates the variable-memory claim
+// (paper: "reduce the execution time by 50%").
+func BenchmarkE2MemoryConstraints(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E2MemoryConstraints(2, benchGWAS())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = res.Reduction
+	}
+	b.ReportMetric(reduction*100, "%reduction")
+}
+
+// BenchmarkE3NMMBInit regenerates the NMMB-Monarch speedup from
+// parallelising the sequential initialisation stage.
+func BenchmarkE3NMMBInit(b *testing.B) {
+	cfg := workloads.DefaultNMMB()
+	cfg.Cycles = 2
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E3NMMBInit(4, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Speedup
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// BenchmarkE4StorageLocality regenerates the getLocations locality claim:
+// bytes moved under locality-aware vs blind scheduling.
+func BenchmarkE4StorageLocality(b *testing.B) {
+	var blindGB float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E4StorageLocality(4, 16, 200,
+			[]sched.Policy{sched.Locality{}, sched.FIFO{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].BytesMoved != 0 {
+			b.Fatalf("locality moved %d bytes", rows[0].BytesMoved)
+		}
+		blindGB = float64(rows[1].BytesMoved) / 1e9
+	}
+	b.ReportMetric(blindGB, "GB-saved")
+}
+
+// BenchmarkE5MethodShipping regenerates dataClay's transfer-minimisation
+// claim: fetched/shipped byte ratio.
+func BenchmarkE5MethodShipping(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E5MethodShipping(16, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.Ratio
+	}
+	b.ReportMetric(ratio, "fetch/ship-ratio")
+}
+
+// BenchmarkE6FogOffload regenerates the fog-to-cloud offloading speedup
+// over real REST agents (Figs. 5–6).
+func BenchmarkE6FogOffload(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E6FogOffload(12, 3, 15*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Speedup
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
+// BenchmarkE7FailureRecovery regenerates the persisted-recovery claim:
+// extra makespan of recovering without persistence.
+func BenchmarkE7FailureRecovery(b *testing.B) {
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E7FailureRecovery(6, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = float64(rows[1].Makespan) / float64(rows[0].Makespan)
+	}
+	b.ReportMetric(penalty, "no-persist-slowdown")
+}
+
+// BenchmarkE8MLScheduler regenerates the intelligent-runtime learning
+// curve: trained-ML makespan improvement over FIFO.
+func BenchmarkE8MLScheduler(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.E8MLScheduler(3, 48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		gain = float64(last.FIFOMakespan) / float64(last.MLMakespan)
+	}
+	b.ReportMetric(gain, "ml-vs-fifo")
+}
+
+// BenchmarkE9StoreRecompute regenerates the store-vs-recompute trade-off
+// sweep and reports the crossover bandwidth.
+func BenchmarkE9StoreRecompute(b *testing.B) {
+	var crossover float64
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.E9StoreRecompute(
+			[]float64{1, 3, 10, 30, 100, 300, 1000}, 6, 1000, 5, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		crossover = -1
+		for _, p := range points {
+			if p.StoreAll <= p.RecomputeAll {
+				crossover = p.StorageMBps
+				break
+			}
+		}
+	}
+	b.ReportMetric(crossover, "crossover-MBps")
+}
+
+// BenchmarkE10EnergyAware regenerates the energy-aware scheduling
+// comparison: task-energy saving of the energy policy.
+func BenchmarkE10EnergyAware(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E10EnergyAware(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = 1 - rows[1].ActiveJ/rows[0].ActiveJ
+	}
+	b.ReportMetric(saving*100, "%energy-saved")
+}
+
+// BenchmarkE11Elasticity regenerates the elasticity comparison:
+// node-seconds saved by scaling with the load.
+func BenchmarkE11Elasticity(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E11Elasticity(96)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = 1 - rows[1].NodeSeconds/rows[0].NodeSeconds
+	}
+	b.ReportMetric(saving*100, "%node-seconds-saved")
+}
+
+// BenchmarkE12AbstractionLevels regenerates the abstraction-level
+// comparison: HLA overhead relative to the runtime API.
+func BenchmarkE12AbstractionLevels(b *testing.B) {
+	var hlaOverhead float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E12AbstractionLevels(200, 50, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hlaOverhead = rows[0].Overhead / rows[2].Overhead
+	}
+	b.ReportMetric(hlaOverhead, "hla/runtime-api")
+}
+
+// BenchmarkA1RenamingAblation quantifies DESIGN.md §6 ablation 2: version
+// renaming removes WAR/WAW serialisation on overwrite-heavy workflows.
+func BenchmarkA1RenamingAblation(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.A1Renaming(6, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = float64(rows[1].Makespan) / float64(rows[0].Makespan)
+	}
+	b.ReportMetric(slowdown, "no-renaming-slowdown")
+}
+
+// BenchmarkA2PriorityAblation quantifies the ML policy's LPT ordering
+// against informed node selection alone.
+func BenchmarkA2PriorityAblation(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.A2Priority(48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = float64(rows[1].Makespan) / float64(rows[0].Makespan)
+	}
+	b.ReportMetric(gain, "ordering-gain")
+}

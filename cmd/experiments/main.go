@@ -1,0 +1,325 @@
+// Command experiments regenerates every experiment table of EXPERIMENTS.md
+// (the reproduction of the paper's quantitative claims). Run with -quick
+// for a faster, smaller-scale pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced problem sizes")
+	only := flag.String("only", "", "run a single experiment (e1..e12, a1, a2)")
+	flag.Parse()
+	if err := run(*quick, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, only string) error {
+	type exp struct {
+		id string
+		fn func(bool) error
+	}
+	all := []exp{
+		{"e1", e1}, {"e2", e2}, {"e3", e3}, {"e4", e4}, {"e5", e5}, {"e6", e6},
+		{"e7", e7}, {"e8", e8}, {"e9", e9}, {"e10", e10}, {"e11", e11}, {"e12", e12},
+		{"a1", a1}, {"a2", a2},
+	}
+	for _, e := range all {
+		if only != "" && e.id != only {
+			continue
+		}
+		if err := e.fn(quick); err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+	}
+	return nil
+}
+
+func table(title string, header []string, rows [][]string) {
+	fmt.Printf("\n== %s ==\n", title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for i, h := range header {
+		if i > 0 {
+			fmt.Fprint(w, "\t")
+		}
+		fmt.Fprint(w, h)
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	_ = w.Flush()
+}
+
+func gwasCfg(quick bool) workloads.GWASConfig {
+	cfg := workloads.DefaultGWAS()
+	if quick {
+		cfg.Chromosomes = 6
+		cfg.ImputationsPerChrom = 30
+	}
+	return cfg
+}
+
+func e1(quick bool) error {
+	nodes := []int{1, 2, 4, 8, 16, 32, 64, 100}
+	if quick {
+		nodes = []int{1, 2, 4, 8}
+	}
+	points, err := experiments.E1Guidance(nodes, gwasCfg(quick))
+	if err != nil {
+		return err
+	}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprint(p.Nodes), fmt.Sprint(p.Cores), p.Makespan.Round(time.Second).String(),
+			fmt.Sprintf("%.2f", p.Speedup), fmt.Sprintf("%.2f", p.Eff),
+		})
+	}
+	table("E1 — GUIDANCE scalability (paper: good scalability to 100 nodes / 4800 cores)",
+		[]string{"nodes", "cores", "makespan", "speedup", "efficiency"}, rows)
+	return nil
+}
+
+func e2(quick bool) error {
+	res, err := experiments.E2MemoryConstraints(2, gwasCfg(quick))
+	if err != nil {
+		return err
+	}
+	table("E2 — variable memory constraints (paper: reduced execution time by 50%)",
+		[]string{"mode", "makespan", "reduction"},
+		[][]string{
+			{"static worst-case", res.StaticMakespan.Round(time.Second).String(), ""},
+			{"variable + async", res.VariableMakespan.Round(time.Second).String(),
+				fmt.Sprintf("%.0f%%", res.Reduction*100)},
+		})
+	return nil
+}
+
+func e3(quick bool) error {
+	cfg := workloads.DefaultNMMB()
+	if quick {
+		cfg.Cycles = 2
+	}
+	res, err := experiments.E3NMMBInit(4, cfg)
+	if err != nil {
+		return err
+	}
+	table("E3 — NMMB-Monarch init parallelisation (paper: better speed-up from parallelising init scripts)",
+		[]string{"driver", "makespan", "speedup"},
+		[][]string{
+			{"serial init", res.SerialMakespan.Round(time.Second).String(), "1.00"},
+			{"task-parallel init", res.ParallelMakespan.Round(time.Second).String(),
+				fmt.Sprintf("%.2f", res.Speedup)},
+		})
+	return nil
+}
+
+func e4(quick bool) error {
+	shards := 16
+	if quick {
+		shards = 8
+	}
+	rows, err := experiments.E4StorageLocality(4, shards, 200,
+		[]sched.Policy{sched.Locality{}, sched.EFT{}, sched.FIFO{}})
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Policy, fmt.Sprintf("%.1f GB", float64(r.BytesMoved)/1e9),
+			r.Makespan.Round(time.Second).String()})
+	}
+	table("E4 — storage locality via getLocations (paper: schedule tasks where the data resides)",
+		[]string{"policy", "data moved", "makespan"}, out)
+	return nil
+}
+
+func e5(bool) error {
+	res, err := experiments.E5MethodShipping(64, 20)
+	if err != nil {
+		return err
+	}
+	table("E5 — dataClay in-store execution (paper: minimizes the number of data transfers)",
+		[]string{"access style", "bytes moved"},
+		[][]string{
+			{"method shipping", fmt.Sprintf("%d", res.ShippedBytes)},
+			{"fetch-then-compute", fmt.Sprintf("%d", res.FetchedBytes)},
+			{"ratio", fmt.Sprintf("%.0fx", res.Ratio)},
+		})
+	return nil
+}
+
+func e6(quick bool) error {
+	tasks := 24
+	if quick {
+		tasks = 12
+	}
+	res, err := experiments.E6FogOffload(tasks, 3, 20*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	table("E6 — fog-to-cloud offloading over REST agents (Fig. 5/6)",
+		[]string{"mode", "wall time", "speedup"},
+		[][]string{
+			{"1-core fog device alone", res.LocalOnly.Round(time.Millisecond).String(), "1.00"},
+			{fmt.Sprintf("offloading to %d peers", res.PeerAgents),
+				res.WithPeers.Round(time.Millisecond).String(), fmt.Sprintf("%.2f", res.Speedup)},
+		})
+	return nil
+}
+
+func e7(bool) error {
+	rows, err := experiments.E7FailureRecovery(6, 8)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		mode := "without persistence"
+		if r.Persistence {
+			mode = "with dataClay persistence"
+		}
+		out = append(out, []string{mode, r.Makespan.Round(time.Second).String(),
+			fmt.Sprint(r.TasksFailed), fmt.Sprint(r.TasksReExecuted)})
+	}
+	table("E7 — fog node failure recovery (paper: retrieve persisted data, resubmit on another node)",
+		[]string{"mode", "makespan", "tasks killed", "completed tasks recomputed"}, out)
+	return nil
+}
+
+func e8(quick bool) error {
+	runs := 5
+	if quick {
+		runs = 3
+	}
+	points, err := experiments.E8MLScheduler(runs, 48)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, p := range points {
+		out = append(out, []string{fmt.Sprint(p.Run),
+			p.FIFOMakespan.Round(time.Second).String(),
+			p.MLMakespan.Round(time.Second).String()})
+	}
+	table("E8 — intelligent runtime learning from previous executions (Sec. VI-C)",
+		[]string{"execution #", "fifo makespan", "ml makespan"}, out)
+	return nil
+}
+
+func e9(bool) error {
+	points, err := experiments.E9StoreRecompute([]float64{1, 10, 100, 1000, 10000}, 6, 1000, 5, 3)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, p := range points {
+		out = append(out, []string{fmt.Sprintf("%.0f", p.StorageMBps),
+			p.StoreAll.Round(time.Second).String(),
+			p.RecomputeAll.Round(time.Second).String(),
+			p.Adaptive.Round(time.Second).String()})
+	}
+	table("E9 — store vs recompute trade-off (Sec. VI-C data-computing metrics)",
+		[]string{"storage MB/s", "store-all", "recompute-all", "adaptive"}, out)
+	return nil
+}
+
+func e10(bool) error {
+	rows, err := experiments.E10EnergyAware(64)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Policy, r.Makespan.Round(time.Second).String(),
+			fmt.Sprintf("%.0f J", r.ActiveJ), fmt.Sprintf("%.0f J", r.TotalJ)})
+	}
+	table("E10 — energy-aware scheduling (Sec. IV: efficient in performance and energy)",
+		[]string{"policy", "makespan", "task energy", "total energy (incl. idle)"}, out)
+	return nil
+}
+
+func e11(quick bool) error {
+	burst := 128
+	if quick {
+		burst = 64
+	}
+	rows, err := experiments.E11Elasticity(burst)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Mode, r.Makespan.Round(time.Second).String(),
+			fmt.Sprintf("%.0f", r.NodeSeconds), fmt.Sprint(r.PeakNodes)})
+	}
+	table("E11 — cloud elasticity (Sec. VI-A: elasticity in clouds and SLURM clusters)",
+		[]string{"mode", "makespan", "node-seconds", "peak nodes"}, out)
+	return nil
+}
+
+func a1(bool) error {
+	rows, err := experiments.A1Renaming(6, 12)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		mode := "renaming on (COMPSs)"
+		if !r.Renaming {
+			mode = "renaming off"
+		}
+		out = append(out, []string{mode, fmt.Sprint(r.RAW), fmt.Sprint(r.WAR), fmt.Sprint(r.WAW),
+			r.Makespan.Round(time.Second).String()})
+	}
+	table("A1 — ablation: data-version renaming (DESIGN.md §6)",
+		[]string{"mode", "RAW", "WAR", "WAW", "makespan"}, out)
+	return nil
+}
+
+func a2(bool) error {
+	rows, err := experiments.A2Priority(48)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Policy, r.Makespan.Round(time.Second).String()})
+	}
+	table("A2 — ablation: learned LPT ordering in the ML policy (DESIGN.md §6)",
+		[]string{"policy", "makespan (3rd execution)"}, out)
+	return nil
+}
+
+func e12(bool) error {
+	rows, err := experiments.E12AbstractionLevels(400, 100, 50)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Level, fmt.Sprintf("%.0f", r.Value),
+			r.Elapsed.Round(time.Microsecond).String(), fmt.Sprintf("%.1fx", r.Overhead)})
+	}
+	table("E12 — the same computation at four abstraction levels (Sec. V, Fig. 2)",
+		[]string{"level", "result", "wall time", "overhead vs plain Go"}, out)
+	return nil
+}

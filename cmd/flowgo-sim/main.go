@@ -1,0 +1,130 @@
+// Command flowgo-sim runs a workload on the computing-continuum simulator
+// from the command line: pick a workload, a pool shape and a scheduling
+// policy, get makespan / transfers / energy / utilisation back. This is
+// the exploration tool behind the experiment tables.
+//
+// Examples:
+//
+//	flowgo-sim -workload gwas -nodes 16 -policy locality
+//	flowgo-sim -workload nmmb -nodes 8 -policy eft
+//	flowgo-sim -workload mix -tasks 200 -nodes 4 -node-type fog -policy energy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/infra"
+	"repro/internal/mlpredict"
+	"repro/internal/resources"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flowgo-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workload = flag.String("workload", "gwas", "gwas | nmmb | mix | mapreduce | stencil")
+		nodes    = flag.Int("nodes", 4, "pool size")
+		nodeType = flag.String("node-type", "hpc", "hpc | cloud | fog")
+		policy   = flag.String("policy", "min-load", "fifo | min-load | locality | eft | ml | energy")
+		tasks    = flag.Int("tasks", 100, "task count (mix workload)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		gantt    = flag.Bool("gantt", false, "render a per-node Gantt chart")
+	)
+	flag.Parse()
+
+	var desc resources.Description
+	switch *nodeType {
+	case "hpc":
+		desc = resources.MareNostrumNode
+	case "cloud":
+		desc = resources.CloudVM
+	case "fog":
+		desc = resources.FogDevice
+	default:
+		return fmt.Errorf("unknown node type %q", *nodeType)
+	}
+	pool := resources.NewPool()
+	for i := 0; i < *nodes; i++ {
+		if err := pool.Add(resources.NewNode(fmt.Sprintf("%s%03d", *nodeType, i), desc)); err != nil {
+			return err
+		}
+	}
+	net := simnet.Continuum()
+	for _, n := range pool.Nodes() {
+		net.SetZone(n.Name(), n.Desc().Class.String())
+	}
+
+	var specs []infra.TaskSpec
+	cfg := infra.Config{Pool: pool, Net: net, Policy: sched.ByName(*policy)}
+	if *policy == "ml" {
+		cfg.Predictor = mlpredict.NewPredictor(10 * time.Second)
+	}
+	var tracer *trace.Tracer
+	if *gantt {
+		tracer = trace.New(0)
+		cfg.Tracer = tracer
+	}
+	switch *workload {
+	case "gwas":
+		g := workloads.DefaultGWAS()
+		g.Seed = *seed
+		s, st := workloads.GWAS(g)
+		specs = s
+		cfg.StageIn = st
+	case "nmmb":
+		n := workloads.DefaultNMMB()
+		n.ParallelInit = true
+		specs = workloads.NMMB(n)
+	case "mix":
+		specs = workloads.HeterogeneousMix(*tasks, *seed)
+	case "mapreduce":
+		specs = workloads.MapReduce(*tasks, *tasks/8+1, 30*time.Second, time.Minute, 50e6)
+	case "stencil":
+		specs = workloads.IterativeStencil(10, *tasks/10+1, 20*time.Second)
+	default:
+		return fmt.Errorf("unknown workload %q", *workload)
+	}
+
+	sim, err := infra.New(cfg, specs)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := sim.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload:        %s (%d tasks)\n", *workload, len(specs))
+	fmt.Printf("pool:            %d × %s (%d cores)\n", *nodes, *nodeType, pool.TotalCores())
+	fmt.Printf("policy:          %s\n", *policy)
+	fmt.Printf("makespan:        %v (simulated)\n", res.Makespan.Round(time.Second))
+	fmt.Printf("tasks completed: %d\n", res.TasksCompleted)
+	fmt.Printf("data moved:      %.2f GB over %v\n", float64(res.BytesMoved)/1e9, res.TransferTime.Round(time.Second))
+	fmt.Printf("utilisation:     %.1f%%\n", res.Utilization*100)
+	fmt.Printf("energy:          %.0f J active, %.0f J total\n", float64(res.ActiveEnergy), float64(res.TotalEnergy))
+	fmt.Printf("dep edges:       %d RAW\n", res.DepEdges.RAW)
+	fmt.Printf("wall time:       %v\n", time.Since(start).Round(time.Millisecond))
+	if tracer != nil {
+		spans := trace.Timeline(tracer.Events())
+		fmt.Printf("\nGantt (virtual time, digit = concurrent tasks):\n%s", trace.RenderASCII(spans, 72))
+		fmt.Println("per-node busy time:")
+		for _, u := range trace.Utilization(spans) {
+			fmt.Printf("  %-10s %10v over %d tasks (avg concurrency %.1f)\n",
+				u.Node, u.BusyTime.Round(time.Second), u.Tasks, u.AvgConcurrency)
+		}
+	}
+	return nil
+}

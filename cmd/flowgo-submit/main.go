@@ -1,0 +1,85 @@
+// Command flowgo-submit is the CLI client of flowgo-agent: it POSTs a task
+// to an agent's REST API ("Start Application" in the paper's Fig. 6) and
+// polls until the result arrives.
+//
+// Example:
+//
+//	flowgo-submit -agent http://127.0.0.1:8080 -fn square -args '[12]'
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/agent"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flowgo-submit:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		agentURL = flag.String("agent", "http://127.0.0.1:8080", "agent base URL")
+		fn       = flag.String("fn", "echo", "function name")
+		args     = flag.String("args", "[]", "JSON array of arguments")
+		timeout  = flag.Duration("timeout", time.Minute, "overall deadline")
+	)
+	flag.Parse()
+
+	var rawArgs []json.RawMessage
+	if err := json.Unmarshal([]byte(*args), &rawArgs); err != nil {
+		return fmt.Errorf("parse -args: %w", err)
+	}
+	body, err := json.Marshal(agent.TaskRequest{Name: *fn, Args: rawArgs})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Post(*agentURL+"/task", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+	var st agent.TaskStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	fmt.Println("task id:", st.ID)
+
+	deadline := time.Now().Add(*timeout)
+	for {
+		r, err := client.Get(*agentURL + "/task/" + st.ID)
+		if err != nil {
+			return err
+		}
+		var cur agent.TaskStatus
+		decErr := json.NewDecoder(r.Body).Decode(&cur)
+		_ = r.Body.Close()
+		if decErr != nil {
+			return decErr
+		}
+		switch cur.State {
+		case agent.StateDone:
+			fmt.Println("result:", string(cur.Result))
+			return nil
+		case agent.StateFailed:
+			return fmt.Errorf("task failed: %s", cur.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out in state %s", cur.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,86 @@
+package compss
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Group collects related invocations so callers can synchronise on a
+// subset of the workflow instead of a global Barrier — PyCOMPSs'
+// TaskGroup. Groups may be reused after WaitAll.
+type Group struct {
+	c *COMPSs
+
+	mu      sync.Mutex
+	futures []*Future
+	names   []string
+}
+
+// NewGroup creates an empty task group.
+func (c *COMPSs) NewGroup() *Group {
+	return &Group{c: c}
+}
+
+// Call invokes a task and adds its future to the group.
+func (g *Group) Call(name string, params ...Param) (*Future, error) {
+	f, err := g.c.Call(name, params...)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	g.futures = append(g.futures, f)
+	g.names = append(g.names, name)
+	g.mu.Unlock()
+	return f, nil
+}
+
+// Size reports how many invocations the group holds.
+func (g *Group) Size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.futures)
+}
+
+// GroupError aggregates the failures of a group.
+type GroupError struct {
+	// Failed maps invocation index to its error.
+	Failed map[int]error
+}
+
+// Error implements error.
+func (e *GroupError) Error() string {
+	return fmt.Sprintf("compss: %d task(s) in group failed", len(e.Failed))
+}
+
+// WaitAll blocks until every invocation in the group finishes. It returns
+// nil when all succeeded, or a *GroupError naming each failure. The group
+// is emptied either way.
+func (g *Group) WaitAll() error {
+	g.mu.Lock()
+	futures := g.futures
+	names := g.names
+	g.futures = nil
+	g.names = nil
+	g.mu.Unlock()
+
+	failed := make(map[int]error)
+	for i, f := range futures {
+		if _, err := f.Wait(); err != nil {
+			failed[i] = fmt.Errorf("%s: %w", names[i], err)
+		}
+	}
+	if len(failed) > 0 {
+		return &GroupError{Failed: failed}
+	}
+	return nil
+}
+
+// AsGroupError extracts a *GroupError from err.
+func AsGroupError(err error) (*GroupError, bool) {
+	var ge *GroupError
+	if errors.As(err, &ge) {
+		return ge, true
+	}
+	return nil, false
+}

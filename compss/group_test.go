@@ -1,0 +1,93 @@
+package compss
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestGroupWaitAllSucceeds(t *testing.T) {
+	c := newC(t)
+	registerInt(t, c)
+	g := c.NewGroup()
+	outs := make([]*Object, 5)
+	for i := range outs {
+		outs[i] = c.NewObject()
+		if _, err := g.Call("const", In(i), Write(outs[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Size() != 5 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+	if err := g.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 0 {
+		t.Fatal("group not emptied after WaitAll")
+	}
+	for i, o := range outs {
+		v, err := c.WaitOn(o)
+		if err != nil || v != i {
+			t.Fatalf("out[%d] = %v %v", i, v, err)
+		}
+	}
+}
+
+func TestGroupCollectsFailures(t *testing.T) {
+	c := newC(t)
+	registerInt(t, c)
+	if err := c.RegisterTask("maybe", func(_ context.Context, args []any) ([]any, error) {
+		n, _ := args[0].(int)
+		if n%2 == 1 {
+			return nil, errors.New("odd input rejected")
+		}
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g := c.NewGroup()
+	for i := 0; i < 6; i++ {
+		if _, err := g.Call("maybe", In(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := g.WaitAll()
+	if err == nil {
+		t.Fatal("expected group failure")
+	}
+	ge, ok := AsGroupError(err)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if len(ge.Failed) != 3 {
+		t.Fatalf("failed = %d, want 3", len(ge.Failed))
+	}
+	for idx, e := range ge.Failed {
+		if idx%2 != 1 {
+			t.Fatalf("even index %d failed: %v", idx, e)
+		}
+		if !strings.Contains(e.Error(), "maybe") {
+			t.Fatalf("failure not attributed: %v", e)
+		}
+	}
+}
+
+func TestGroupIsReusable(t *testing.T) {
+	c := newC(t)
+	registerInt(t, c)
+	g := c.NewGroup()
+	if _, err := g.Call("const", In(1), Write(c.NewObject())); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Call("const", In(2), Write(c.NewObject())); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WaitAll(); err != nil {
+		t.Fatal(err)
+	}
+}

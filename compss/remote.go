@@ -1,0 +1,71 @@
+package compss
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/agent"
+)
+
+// Remote tasks execute on COMPSs agents (paper Sec. VI-B): the task body
+// ships its IN parameters as JSON to the least-loaded agent of a cluster
+// and binds the JSON response to its single OUT parameter. Every agent of
+// the application must have the function registered under the same name
+// ("each Agent … can execute the same application code").
+
+// RemoteOptions tune a remote task.
+type RemoteOptions struct {
+	// Timeout bounds each HTTP request (default 2s; the task itself may
+	// run longer — completion is polled).
+	Timeout time.Duration
+	// PollInterval tunes completion polling (default 5ms).
+	PollInterval time.Duration
+}
+
+// RegisterRemoteTask registers a task whose body runs on one of the given
+// agents, chosen by load, with failover if the chosen agent disappears.
+// IN parameters must be JSON-marshalable; the decoded response binds to
+// the single Write parameter (numbers arrive as float64, objects as
+// map[string]any — standard encoding/json semantics).
+func (c *COMPSs) RegisterRemoteTask(name string, agentURLs []string, opts ...RemoteOptions) error {
+	if len(agentURLs) == 0 {
+		return fmt.Errorf("compss: remote task %s needs at least one agent URL", name)
+	}
+	var o RemoteOptions
+	if len(opts) > 1 {
+		return fmt.Errorf("compss: at most one RemoteOptions, got %d", len(opts))
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	client := agent.NewClient(o.Timeout, o.PollInterval)
+	urls := append([]string(nil), agentURLs...)
+
+	fn := func(_ context.Context, args []any) ([]any, error) {
+		raw := make([]json.RawMessage, 0, len(args))
+		for _, a := range args {
+			if a == nil {
+				continue // output slot
+			}
+			enc, err := json.Marshal(a)
+			if err != nil {
+				return nil, fmt.Errorf("remote task %s: encode arg: %w", name, err)
+			}
+			raw = append(raw, enc)
+		}
+		res, err := client.RunOnCluster(urls, name, raw)
+		if err != nil {
+			return nil, fmt.Errorf("remote task %s: %w", name, err)
+		}
+		var out any
+		if len(res) > 0 {
+			if err := json.Unmarshal(res, &out); err != nil {
+				return nil, fmt.Errorf("remote task %s: decode result: %w", name, err)
+			}
+		}
+		return []any{out}, nil
+	}
+	return c.RegisterTask(name, fn)
+}

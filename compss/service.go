@@ -1,0 +1,92 @@
+package compss
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Service tasks implement the fourth COMPSs task type: "an invocation to a
+// web service, previously instantiated in a node" (paper Sec. VI-A). The
+// task POSTs its IN parameters as a JSON array to the endpoint and binds
+// the JSON response to its single OUT parameter.
+
+// ServiceOptions tune a service task.
+type ServiceOptions struct {
+	// Timeout bounds each invocation (default 30s).
+	Timeout time.Duration
+	// Retries re-submits on transport errors or 5xx (default 0).
+	Retries int
+}
+
+// RegisterService registers a task whose body is an HTTP POST to url.
+// Call it like any task: IN params become the request payload, and exactly
+// one Write(obj) parameter receives the decoded JSON response.
+func (c *COMPSs) RegisterService(name, url string, opts ...ServiceOptions) error {
+	var o ServiceOptions
+	if len(opts) > 1 {
+		return fmt.Errorf("compss: at most one ServiceOptions, got %d", len(opts))
+	}
+	if len(opts) == 1 {
+		o = opts[0]
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: o.Timeout}
+
+	fn := func(ctx context.Context, args []any) ([]any, error) {
+		// Output parameters arrive as nil slots; the request carries the
+		// input values only (so a service task's payload is its IN/Read
+		// parameters in declaration order).
+		inputs := make([]any, 0, len(args))
+		for _, a := range args {
+			if a != nil {
+				inputs = append(inputs, a)
+			}
+		}
+		payload, err := json.Marshal(inputs)
+		if err != nil {
+			return nil, fmt.Errorf("service %s: encode args: %w", name, err)
+		}
+		var lastErr error
+		for attempt := 0; attempt <= o.Retries; attempt++ {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+			if err != nil {
+				return nil, fmt.Errorf("service %s: %w", name, err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err != nil {
+				lastErr = fmt.Errorf("service %s: %w", name, err)
+				continue
+			}
+			body, readErr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+			_ = resp.Body.Close()
+			if readErr != nil {
+				lastErr = fmt.Errorf("service %s: read response: %w", name, readErr)
+				continue
+			}
+			if resp.StatusCode >= 500 {
+				lastErr = fmt.Errorf("service %s: HTTP %d", name, resp.StatusCode)
+				continue
+			}
+			if resp.StatusCode >= 400 {
+				return nil, fmt.Errorf("service %s: HTTP %d: %s", name, resp.StatusCode, body)
+			}
+			var out any
+			if len(body) > 0 {
+				if err := json.Unmarshal(body, &out); err != nil {
+					return nil, fmt.Errorf("service %s: decode response: %w", name, err)
+				}
+			}
+			return []any{out}, nil
+		}
+		return nil, lastErr
+	}
+	return c.RegisterTask(name, fn)
+}

@@ -1,0 +1,129 @@
+package compss
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestServiceTaskRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		var args []any
+		if err := json.Unmarshal(body, &args); err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		sum := 0.0
+		for _, a := range args {
+			f, ok := a.(float64)
+			if !ok {
+				http.Error(w, "want numbers", 400)
+				return
+			}
+			sum += f
+		}
+		_ = json.NewEncoder(w).Encode(sum)
+	}))
+	defer srv.Close()
+
+	c := newC(t)
+	if err := c.RegisterService("adder", srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	out := c.NewObject()
+	if _, err := c.Call("adder", In(2.0), In(3.0), Write(out)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.WaitOn(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5.0 {
+		t.Fatalf("service result = %v, want 5", got)
+	}
+}
+
+func TestServiceTaskClientErrorFailsTask(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "bad input", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	c := newC(t)
+	if err := c.RegisterService("broken", srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	out := c.NewObject()
+	f, err := c.Call("broken", In(1.0), Write(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Wait(); err == nil || !strings.Contains(err.Error(), "HTTP 400") {
+		t.Fatalf("err = %v, want HTTP 400", err)
+	}
+}
+
+func TestServiceTaskRetriesOn5xx(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if atomic.AddInt32(&calls, 1) < 3 {
+			http.Error(w, "flaky", http.StatusInternalServerError)
+			return
+		}
+		_ = json.NewEncoder(w).Encode("ok")
+	}))
+	defer srv.Close()
+
+	c := newC(t)
+	if err := c.RegisterService("flaky", srv.URL, ServiceOptions{Retries: 3, Timeout: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.NewObject()
+	if _, err := c.Call("flaky", Write(out)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.WaitOn(out)
+	if err != nil || got != "ok" {
+		t.Fatalf("got %v %v", got, err)
+	}
+	if atomic.LoadInt32(&calls) != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestServiceTaskNoRetriesFailsFast(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := newC(t)
+	if err := c.RegisterService("down", srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	out := c.NewObject()
+	f, err := c.Call("down", Write(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Wait(); err == nil || !strings.Contains(err.Error(), "HTTP 500") {
+		t.Fatalf("err = %v, want HTTP 500", err)
+	}
+}
+
+func TestRegisterServiceValidation(t *testing.T) {
+	c := newC(t)
+	if err := c.RegisterService("x", "http://unused", ServiceOptions{}, ServiceOptions{}); err == nil {
+		t.Fatal("two option values accepted")
+	}
+}

@@ -1,0 +1,226 @@
+package dislib
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/compss"
+)
+
+// PCA extracts principal components from a distributed array: column means
+// and the covariance matrix are computed as one task per block plus
+// commutative merges; the (small, p×p) eigenproblem is then solved locally
+// by power iteration with deflation — the structure of dislib's PCA.
+type PCA struct {
+	lib *Lib
+	// Components is the number of principal axes to extract.
+	Components int
+	// MaxIter bounds each power iteration (default 100).
+	MaxIter int
+	// Tol is the convergence threshold on eigenvector movement.
+	Tol float64
+	// Mean holds the fitted column means.
+	Mean []float64
+	// ComponentsMatrix holds one unit-length principal axis per row.
+	ComponentsMatrix [][]float64
+	// ExplainedVariance holds the eigenvalue of each component.
+	ExplainedVariance []float64
+}
+
+// PCA constructs the estimator.
+func (l *Lib) PCA(components int) *PCA {
+	return &PCA{lib: l, Components: components, MaxIter: 100, Tol: 1e-9}
+}
+
+// colStats accumulates per-column sums and a row count.
+type colStats struct {
+	sums  []float64
+	count float64
+}
+
+// Fit learns means, components and explained variances from X.
+func (p *PCA) Fit(x *Array) error {
+	if p.Components <= 0 || p.Components > x.Cols() {
+		return fmt.Errorf("%w: %d components for %d columns", ErrDimension, p.Components, x.Cols())
+	}
+	if x.Rows() < 2 {
+		return fmt.Errorf("%w: need at least 2 rows", ErrDimension)
+	}
+
+	// Pass 1: column means (map + commutative reduce).
+	statsAcc := p.lib.c.NewObjectWith(colStats{})
+	for _, b := range x.blocks {
+		part := p.lib.c.NewObject()
+		if _, err := p.lib.c.Call("dislib.colSums", compss.Read(b), compss.Write(part)); err != nil {
+			return err
+		}
+		if _, err := p.lib.c.Call("dislib.colSumsMerge",
+			compss.Reduce(statsAcc), compss.Read(part)); err != nil {
+			return err
+		}
+	}
+	v, err := p.lib.c.WaitOn(statsAcc)
+	if err != nil {
+		return err
+	}
+	stats, ok := v.(colStats)
+	if !ok {
+		return fmt.Errorf("dislib: colSums merge returned %T", v)
+	}
+	mean := make([]float64, x.Cols())
+	for j := range mean {
+		mean[j] = stats.sums[j] / stats.count
+	}
+
+	// Pass 2: covariance partials (map + commutative reduce).
+	covAcc := p.lib.c.NewObjectWith(matrix(nil))
+	for _, b := range x.blocks {
+		part := p.lib.c.NewObject()
+		if _, err := p.lib.c.Call("dislib.covPartial",
+			compss.Read(b), compss.In(mean), compss.Write(part)); err != nil {
+			return err
+		}
+		if _, err := p.lib.c.Call("dislib.matAdd",
+			compss.Reduce(covAcc), compss.Read(part)); err != nil {
+			return err
+		}
+	}
+	cv, err := p.lib.c.WaitOn(covAcc)
+	if err != nil {
+		return err
+	}
+	cov, err := asMatrix(cv)
+	if err != nil {
+		return err
+	}
+	norm := 1 / float64(x.Rows()-1)
+	for i := range cov {
+		for j := range cov[i] {
+			cov[i][j] *= norm
+		}
+	}
+
+	// Local eigensolve: power iteration with deflation.
+	comps := make(matrix, 0, p.Components)
+	vars := make([]float64, 0, p.Components)
+	work := cov
+	for c := 0; c < p.Components; c++ {
+		vec, val, err := powerIteration(work, p.MaxIter, p.Tol, int64(c))
+		if err != nil {
+			return err
+		}
+		comps = append(comps, vec)
+		vars = append(vars, val)
+		work = deflate(work, vec, val)
+	}
+	p.Mean = mean
+	p.ComponentsMatrix = comps
+	p.ExplainedVariance = vars
+	return nil
+}
+
+// Transform projects rows onto the fitted components.
+func (p *PCA) Transform(rows [][]float64) ([][]float64, error) {
+	if p.ComponentsMatrix == nil {
+		return nil, ErrNotFitted
+	}
+	out := make([][]float64, len(rows))
+	for i, row := range rows {
+		if len(row) != len(p.Mean) {
+			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrDimension, i, len(row), len(p.Mean))
+		}
+		proj := make([]float64, len(p.ComponentsMatrix))
+		for c, comp := range p.ComponentsMatrix {
+			v := 0.0
+			for j := range row {
+				v += (row[j] - p.Mean[j]) * comp[j]
+			}
+			proj[c] = v
+		}
+		out[i] = proj
+	}
+	return out, nil
+}
+
+// powerIteration returns the dominant eigenvector/eigenvalue of symmetric
+// m. The starting vector is deterministic per component index.
+func powerIteration(m matrix, maxIter int, tol float64, seed int64) ([]float64, float64, error) {
+	n := len(m)
+	if n == 0 {
+		return nil, 0, errors.New("dislib: empty covariance")
+	}
+	vec := make([]float64, n)
+	for i := range vec {
+		// Deterministic, component-dependent start avoiding orthogonal
+		// degeneracy.
+		vec[i] = 1 + 0.1*float64((int64(i)+seed*7)%5)
+	}
+	normalise(vec)
+	var val float64
+	for iter := 0; iter < maxIter; iter++ {
+		next := matVec(m, vec)
+		val = dot(vec, next)
+		nrm := normalise(next)
+		if nrm == 0 {
+			// Null space: return an arbitrary unit vector with zero
+			// variance (fully deflated matrix).
+			unit := make([]float64, n)
+			unit[int(seed)%n] = 1
+			return unit, 0, nil
+		}
+		moved := 0.0
+		for i := range vec {
+			d := math.Abs(next[i] - vec[i])
+			if d > moved {
+				moved = d
+			}
+		}
+		vec = next
+		if moved < tol {
+			break
+		}
+	}
+	return vec, val, nil
+}
+
+func deflate(m matrix, vec []float64, val float64) matrix {
+	out := zeros(len(m), len(m))
+	for i := range m {
+		for j := range m[i] {
+			out[i][j] = m[i][j] - val*vec[i]*vec[j]
+		}
+	}
+	return out
+}
+
+func matVec(m matrix, v []float64) []float64 {
+	out := make([]float64, len(m))
+	for i := range m {
+		s := 0.0
+		for j := range m[i] {
+			s += m[i][j] * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func normalise(v []float64) float64 {
+	n := math.Sqrt(dot(v, v))
+	if n == 0 {
+		return 0
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package dislib
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// anisotropic builds points stretched along the direction (1,1)/√2 with a
+// little noise orthogonal to it.
+func anisotropic(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		t := float64(i-n/2) / float64(n) * 10 // main axis coordinate
+		o := 0.05 * float64(i%5-2)            // orthogonal noise
+		out[i] = []float64{t + o, t - o}
+	}
+	return out
+}
+
+func TestPCAFindsDominantAxis(t *testing.T) {
+	l := newLib(t)
+	a, err := l.FromSlice(anisotropic(100), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := l.PCA(2)
+	if err := p.Fit(a); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ComponentsMatrix) != 2 || len(p.ExplainedVariance) != 2 {
+		t.Fatalf("components = %d, variances = %d", len(p.ComponentsMatrix), len(p.ExplainedVariance))
+	}
+	// First axis ≈ (±1/√2, ±1/√2).
+	c0 := p.ComponentsMatrix[0]
+	if math.Abs(math.Abs(c0[0])-math.Sqrt2/2) > 0.02 || math.Abs(math.Abs(c0[1])-math.Sqrt2/2) > 0.02 {
+		t.Fatalf("first component = %v, want ±(0.707, 0.707)", c0)
+	}
+	// Same sign on both coordinates (the (1,1) direction, not (1,-1)).
+	if c0[0]*c0[1] < 0 {
+		t.Fatalf("first component = %v points across the data", c0)
+	}
+	// Variance ordering and dominance.
+	if p.ExplainedVariance[0] <= p.ExplainedVariance[1] {
+		t.Fatalf("variances not ordered: %v", p.ExplainedVariance)
+	}
+	if p.ExplainedVariance[0] < 50*p.ExplainedVariance[1] {
+		t.Fatalf("dominant axis not dominant: %v", p.ExplainedVariance)
+	}
+	// Components are orthonormal.
+	if math.Abs(dot(p.ComponentsMatrix[0], p.ComponentsMatrix[1])) > 1e-6 {
+		t.Fatalf("components not orthogonal: %v", p.ComponentsMatrix)
+	}
+}
+
+func TestPCATransformCentersAndProjects(t *testing.T) {
+	l := newLib(t)
+	a, err := l.FromSlice(anisotropic(100), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := l.PCA(1)
+	if err := p.Fit(a); err != nil {
+		t.Fatal(err)
+	}
+	// The mean point projects to ~0.
+	proj, err := p.Transform([][]float64{{p.Mean[0], p.Mean[1]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(proj[0][0]) > 1e-9 {
+		t.Fatalf("mean projects to %v, want 0", proj[0][0])
+	}
+	// A point along the main axis projects to ± its length.
+	proj, err = p.Transform([][]float64{{p.Mean[0] + 1, p.Mean[1] + 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Abs(proj[0][0])-math.Sqrt2) > 0.02 {
+		t.Fatalf("axis point projects to %v, want ±√2", proj[0][0])
+	}
+}
+
+func TestPCAValidation(t *testing.T) {
+	l := newLib(t)
+	a, _ := l.FromSlice([][]float64{{1, 2}, {3, 4}}, 1)
+	if err := l.PCA(3).Fit(a); !errors.Is(err, ErrDimension) {
+		t.Fatalf("components > cols accepted: %v", err)
+	}
+	if err := l.PCA(0).Fit(a); !errors.Is(err, ErrDimension) {
+		t.Fatalf("0 components accepted: %v", err)
+	}
+	one, _ := l.FromSlice([][]float64{{1, 2}}, 1)
+	if err := l.PCA(1).Fit(one); !errors.Is(err, ErrDimension) {
+		t.Fatalf("single row accepted: %v", err)
+	}
+	if _, err := l.PCA(1).Transform([][]float64{{1, 2}}); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("transform unfitted: %v", err)
+	}
+	p := l.PCA(1)
+	big, _ := l.FromSlice(anisotropic(20), 10)
+	if err := p.Fit(big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Transform([][]float64{{1}}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("wrong-width transform accepted: %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+package dislib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/compss"
+)
+
+// Inertia computes the K-means objective (sum of squared distances of each
+// row to its nearest fitted center), one task per block plus a local
+// reduction. It is the model-selection score GridSearchKMeans minimises.
+func (m *KMeans) Inertia(a *Array) (float64, error) {
+	if m.Centers == nil {
+		return 0, ErrNotFitted
+	}
+	// Reuse the assignment task shape: score per block.
+	outs := make([]*compss.Object, len(a.blocks))
+	for i, b := range a.blocks {
+		outs[i] = m.lib.c.NewObject()
+		if _, err := m.lib.c.Call("dislib.inertia",
+			compss.Read(b), compss.In(matrix(m.Centers)), compss.Write(outs[i])); err != nil {
+			return 0, err
+		}
+	}
+	total := 0.0
+	for _, o := range outs {
+		v, err := m.lib.c.WaitOn(o)
+		if err != nil {
+			return 0, err
+		}
+		f, ok := v.(float64)
+		if !ok {
+			return 0, fmt.Errorf("dislib: inertia returned %T", v)
+		}
+		total += f
+	}
+	return total, nil
+}
+
+// GridResult is one candidate evaluated by GridSearchKMeans.
+type GridResult struct {
+	K       int
+	Inertia float64
+	Model   *KMeans
+}
+
+// GridSearchKMeans fits one K-means model per candidate k — the candidates
+// run concurrently because each fit is itself a set of asynchronous tasks —
+// and returns the results sorted by k, plus the index of the "elbow"
+// (largest second difference of inertia), a standard model-selection
+// heuristic.
+func (l *Lib) GridSearchKMeans(a *Array, ks []int, seed int64) ([]GridResult, int, error) {
+	if len(ks) == 0 {
+		return nil, -1, fmt.Errorf("%w: no candidates", ErrDimension)
+	}
+	results := make([]GridResult, len(ks))
+	errs := make([]error, len(ks))
+	done := make(chan int, len(ks))
+	for i, k := range ks {
+		i, k := i, k
+		go func() {
+			defer func() { done <- i }()
+			m := l.KMeans(k, seed+int64(k))
+			if err := m.Fit(a); err != nil {
+				errs[i] = err
+				return
+			}
+			inertia, err := m.Inertia(a)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = GridResult{K: k, Inertia: inertia, Model: m}
+		}()
+	}
+	for range ks {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, -1, err
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].K < results[j].K })
+
+	// Elbow: maximise inertia[i-1] - 2*inertia[i] + inertia[i+1].
+	best := 0
+	if len(results) >= 3 {
+		bestCurve := math.Inf(-1)
+		for i := 1; i < len(results)-1; i++ {
+			curve := results[i-1].Inertia - 2*results[i].Inertia + results[i+1].Inertia
+			if curve > bestCurve {
+				bestCurve = curve
+				best = i
+			}
+		}
+	}
+	return results, best, nil
+}

@@ -1,0 +1,96 @@
+// Steering: the paper's vision of checking partial results mid-run
+// (Sec. VI-C): a long simulation publishes residuals to the storage
+// backend after each phase; a monitor inspects them and steers — here it
+// halves the timestep when the solver gets rough and aborts on divergence,
+// so the scientist does not burn hours of compute on a doomed run.
+//
+//	go run ./examples/steering
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/steer"
+	"repro/internal/storage"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "steering:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	backend := storage.NewMemory("hpc-db")
+	progress := steer.NewProgress(backend, "run42")
+
+	monitor, err := steer.NewMonitor(backend, "run42", func(step int, partial []byte) steer.Decision {
+		var residual float64
+		if err := json.Unmarshal(partial, &residual); err != nil {
+			return steer.Decision{Verdict: steer.Abort, Reason: "unreadable partial result"}
+		}
+		switch {
+		case math.IsNaN(residual) || residual > 50:
+			return steer.Decision{Verdict: steer.Abort,
+				Reason: fmt.Sprintf("residual %.2f diverged at step %d", residual, step)}
+		case residual > 5:
+			return steer.Decision{Verdict: steer.Adjust,
+				Reason: fmt.Sprintf("residual %.2f too rough", residual),
+				Params: map[string]string{"dt": "0.5x"}}
+		default:
+			return steer.Decision{Verdict: steer.Continue}
+		}
+	}, 2*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	defer monitor.Stop()
+
+	// The "simulation": an unstable explicit integrator whose residual
+	// grows until the timestep is halved.
+	dt := 1.0
+	residual := 1.0
+	for step := 1; step <= 12; step++ {
+		// Integrate one phase: residual grows with dt.
+		residual *= 1 + dt
+		raw, err := json.Marshal(residual)
+		if err != nil {
+			return err
+		}
+		if _, err := progress.Publish(raw); err != nil {
+			return err
+		}
+		fmt.Printf("step %2d: dt=%.2f residual=%8.2f", step, dt, residual)
+
+		// Wait for the monitor's verdict on this step (interactive loop).
+		deadline := time.Now().Add(time.Second)
+		for monitor.StepsSeen() < step {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("monitor stalled at step %d", step)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		d, ok := progress.Decision()
+		if !ok {
+			fmt.Println("  (no decision)")
+			continue
+		}
+		fmt.Printf("  -> %s %s\n", d.Verdict, d.Reason)
+		switch d.Verdict {
+		case steer.Abort:
+			fmt.Println("simulation aborted by steering — compute hours saved")
+			return nil
+		case steer.Adjust:
+			dt *= 0.5
+			residual *= 0.4 // the smaller step stabilises the solver
+		case steer.Continue:
+		}
+	}
+	fmt.Println("simulation completed under steering")
+	return nil
+}

@@ -1,0 +1,145 @@
+package agent
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Client is the standalone client side of the agent REST protocol, for
+// programs that orchestrate agents without being one (CLI tools, the
+// compss remote-task backend). It is safe for concurrent use.
+type Client struct {
+	http         *http.Client
+	pollInterval time.Duration
+}
+
+// NewClient returns a client with the given per-request timeout and poll
+// interval (defaults: 2s, 5ms).
+func NewClient(timeout, pollInterval time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	if pollInterval <= 0 {
+		pollInterval = 5 * time.Millisecond
+	}
+	return &Client{
+		http:         &http.Client{Timeout: timeout},
+		pollInterval: pollInterval,
+	}
+}
+
+// Health queries one agent's load.
+func (c *Client) Health(url string) (Health, error) {
+	resp, err := c.http.Get(url + "/health")
+	if err != nil {
+		return Health{}, fmt.Errorf("%w: %s: %v", ErrPeerLost, url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("%w: %s: %v", ErrPeerLost, url, err)
+	}
+	return h, nil
+}
+
+// Submit posts a task and returns its remote ID.
+func (c *Client) Submit(url, name string, args []json.RawMessage) (string, error) {
+	body, err := json.Marshal(TaskRequest{Name: name, Args: args})
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Post(url+"/task", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", fmt.Errorf("%w: %s: %v", ErrPeerLost, url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusNotFound {
+		return "", fmt.Errorf("agent %s: %w: %s", url, ErrUnknownFunc, name)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%w: %s: status %d", ErrPeerLost, url, resp.StatusCode)
+	}
+	var st TaskStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", fmt.Errorf("%w: %s: %v", ErrPeerLost, url, err)
+	}
+	return st.ID, nil
+}
+
+// Wait polls until the remote task finishes.
+func (c *Client) Wait(url, id string) (json.RawMessage, error) {
+	for {
+		resp, err := c.http.Get(url + "/task/" + id)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrPeerLost, url, err)
+		}
+		var st TaskStatus
+		decErr := json.NewDecoder(resp.Body).Decode(&st)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			return nil, fmt.Errorf("%w: %s: status %d", ErrPeerLost, url, resp.StatusCode)
+		}
+		switch st.State {
+		case StateDone:
+			return st.Result, nil
+		case StateFailed:
+			return nil, fmt.Errorf("remote task failed: %s", st.Error)
+		}
+		time.Sleep(c.pollInterval)
+	}
+}
+
+// Run submits to one agent and waits.
+func (c *Client) Run(url, name string, args []json.RawMessage) (json.RawMessage, error) {
+	id, err := c.Submit(url, name, args)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(url, id)
+}
+
+// RunOnCluster runs the function on the least-loaded live agent, failing
+// over to the next one if the chosen agent disappears mid-task. Task
+// failures (the function returning an error) are reported, not retried.
+func (c *Client) RunOnCluster(urls []string, name string, args []json.RawMessage) (json.RawMessage, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("agent client: no agents configured")
+	}
+	type scored struct {
+		url  string
+		load float64
+	}
+	var alive []scored
+	for _, u := range urls {
+		h, err := c.Health(u)
+		if err != nil {
+			continue
+		}
+		alive = append(alive, scored{url: u, load: h.Load()})
+	}
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("agent client: %w: none of %d agents answered", ErrPeerLost, len(urls))
+	}
+	sort.Slice(alive, func(i, j int) bool {
+		if alive[i].load != alive[j].load {
+			return alive[i].load < alive[j].load
+		}
+		return alive[i].url < alive[j].url
+	})
+	var lastErr error
+	for _, s := range alive {
+		res, err := c.Run(s.url, name, args)
+		if err == nil {
+			return res, nil
+		}
+		if !isPeerLost(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}

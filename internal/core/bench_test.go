@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSubmitWait measures end-to-end task overhead: submit, schedule,
+// execute a trivial body, complete a future.
+func BenchmarkSubmitWait(b *testing.B) {
+	rt := New(Config{})
+	defer rt.Shutdown()
+	if err := rt.Register(TaskDef{Name: "noop", Fn: func(_ context.Context, _ []any) ([]any, error) {
+		return nil, nil
+	}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := rt.Submit("noop")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDependencyChain measures per-task overhead through a value-
+// passing dependency chain.
+func BenchmarkDependencyChain(b *testing.B) {
+	rt := New(Config{})
+	defer rt.Shutdown()
+	if err := rt.Register(TaskDef{Name: "inc", Fn: func(_ context.Context, args []any) ([]any, error) {
+		v, _ := args[0].(int)
+		return []any{v + 1}, nil
+	}}); err != nil {
+		b.Fatal(err)
+	}
+	h := rt.NewData()
+	rt.SetInitial(h, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Submit("inc", Update(h)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := rt.WaitOn(h); err != nil {
+		b.Fatal(err)
+	}
+}

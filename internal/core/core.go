@@ -1,0 +1,557 @@
+// Package core is the paper's primary contribution: a COMPSs-style
+// task-based runtime. "A COMPSs application is composed of tasks, which are
+// annotated methods. At execution time, the runtime builds a task graph …
+// that takes into account the data dependencies between tasks, and from
+// this graph schedules and executes the tasks in the distributed
+// infrastructure, taking also care of the required data transfers"
+// (Sec. VI-A).
+//
+// This package executes real Go functions with real concurrency; the
+// companion package internal/infra replays the same scheduling machinery
+// over virtual time for the scale experiments. Both share the access
+// processor (internal/deps), the resource model (internal/resources) and
+// the scheduling policies (internal/sched).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/deps"
+	"repro/internal/mlpredict"
+	"repro/internal/resources"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/transfer"
+)
+
+// Errors returned by the runtime.
+var (
+	// ErrUnknownTask is returned when invoking an unregistered task name.
+	ErrUnknownTask = errors.New("core: unknown task")
+	// ErrDependencyFailed is returned by tasks whose inputs failed.
+	ErrDependencyFailed = errors.New("core: dependency failed")
+	// ErrShutdown is returned when submitting to a stopped runtime.
+	ErrShutdown = errors.New("core: runtime is shut down")
+	// ErrUnplaceable is returned for constraints no node can ever satisfy.
+	ErrUnplaceable = errors.New("core: no node can satisfy task constraints")
+	// ErrArity is returned when a task returns the wrong number of values.
+	ErrArity = errors.New("core: wrong number of return values")
+)
+
+// TaskFunc is the body of a task. Args are materialised parameter values in
+// declaration order (for Out parameters the element is the zero value).
+// Returned values are bound to the task's Out/InOut parameters in order.
+type TaskFunc func(ctx context.Context, args []any) ([]any, error)
+
+// TaskDef registers a task type — the equivalent of COMPSs' @task +
+// @constraint annotations.
+type TaskDef struct {
+	// Name is the task-class name (unique).
+	Name string
+	// Fn is the implementation.
+	Fn TaskFunc
+	// Constraints restrict placement (cores, memory, GPU, software,
+	// tier) and are evaluated dynamically at scheduling time.
+	Constraints resources.Constraints
+	// Retries re-runs a failing task body up to this many extra times
+	// before the failure is reported (transient-fault tolerance).
+	Retries int
+}
+
+// Param binds one argument of an invocation.
+type Param struct {
+	// Handle, when set, makes this a dependency-tracked parameter.
+	Handle *Handle
+	// Dir is the access direction for Handle parameters (default In).
+	Dir deps.Direction
+	// Value is the immediate value for non-handle (read-only) params.
+	Value any
+}
+
+// In passes a plain value (no dependency tracking).
+func In(v any) Param { return Param{Value: v} }
+
+// Read declares a read access on a handle.
+func Read(h *Handle) Param { return Param{Handle: h, Dir: deps.In} }
+
+// Write declares an overwrite access on a handle.
+func Write(h *Handle) Param { return Param{Handle: h, Dir: deps.Out} }
+
+// Update declares a read-modify-write access on a handle.
+func Update(h *Handle) Param { return Param{Handle: h, Dir: deps.InOut} }
+
+// Reduce declares a commutative update on a handle.
+func Reduce(h *Handle) Param { return Param{Handle: h, Dir: deps.Commutative} }
+
+// Handle names a runtime-managed datum ("the runtime … offers to the
+// programmer the view that a single shared memory space is available",
+// Sec. II-A). Values are versioned; handles are created by NewData.
+type Handle struct {
+	rt *Runtime
+	id deps.DataID
+}
+
+// ID returns the underlying data ID.
+func (h *Handle) ID() deps.DataID { return h.id }
+
+// Future is the synchronisation object of an asynchronous task.
+type Future struct {
+	done chan struct{}
+	vals []any
+	err  error
+}
+
+// Wait blocks until the task finishes and returns its values.
+func (f *Future) Wait() ([]any, error) {
+	<-f.done
+	return f.vals, f.err
+}
+
+// Done reports completion without blocking.
+func (f *Future) Done() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Config tunes a Runtime.
+type Config struct {
+	// Pool is the logical node set; defaults to one node named "local"
+	// with 4 cores and 8 GB.
+	Pool *resources.Pool
+	// Policy places tasks; defaults to sched.MinLoad.
+	Policy sched.Policy
+	// Predictor, when set, is trained with real durations.
+	Predictor *mlpredict.Predictor
+	// Tracer, when set, receives events.
+	Tracer *trace.Tracer
+	// Provenance, when set, records data lineage.
+	Provenance *trace.Provenance
+	// Locations, when set, lets locality policies see value placement.
+	Locations *transfer.Registry
+}
+
+// versionSlot holds one produced value.
+type versionSlot struct {
+	val any
+	err error
+}
+
+// rtTask is one submitted invocation.
+type rtTask struct {
+	id         int64
+	def        TaskDef
+	params     []Param
+	reads      []deps.Version
+	writes     []deps.Version
+	waitCount  int
+	dependents []int64
+	future     *Future
+	started    time.Time
+	finished   bool // set under Runtime.mu before the future closes
+}
+
+// Runtime executes tasks. Create with New, stop with Shutdown.
+type Runtime struct {
+	cfg  Config
+	proc *deps.Processor
+
+	mu       sync.Mutex
+	defs     map[string]TaskDef
+	tasks    map[int64]*rtTask
+	values   map[deps.Version]versionSlot
+	ready    []int64
+	inflight int
+	nextTask int64
+	nextData int64
+	stopped  bool
+
+	wake  chan struct{}  // nudges the dispatcher
+	quit  chan struct{}  // stops the dispatcher
+	done  chan struct{}  // dispatcher exited
+	wg    sync.WaitGroup // running task goroutines
+	epoch time.Time      // trace-event time base
+}
+
+// New creates a runtime and starts its dispatcher.
+func New(cfg Config) *Runtime {
+	if cfg.Pool == nil {
+		cfg.Pool = resources.NewPool()
+		_ = cfg.Pool.Add(resources.NewNode("local", resources.Description{
+			Cores: 4, MemoryMB: 8000, SpeedFactor: 1,
+		}))
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = sched.MinLoad{}
+	}
+	rt := &Runtime{
+		cfg:    cfg,
+		proc:   deps.NewProcessor(),
+		defs:   make(map[string]TaskDef),
+		tasks:  make(map[int64]*rtTask),
+		values: make(map[deps.Version]versionSlot),
+		wake:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+		epoch:  time.Now(),
+	}
+	go rt.dispatch()
+	return rt
+}
+
+// now returns the trace timestamp (elapsed since runtime start).
+func (rt *Runtime) now() time.Duration { return time.Since(rt.epoch) }
+
+// Register adds a task definition. Re-registration replaces it.
+func (rt *Runtime) Register(def TaskDef) error {
+	if def.Name == "" || def.Fn == nil {
+		return fmt.Errorf("core: task definition needs name and function")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.defs[def.Name] = def
+	return nil
+}
+
+// NewData creates a fresh runtime-managed datum.
+func (rt *Runtime) NewData() *Handle {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.nextData++
+	return &Handle{rt: rt, id: deps.DataID(rt.nextData)}
+}
+
+// SetInitial sets version 0 of a handle to a concrete value (stage-in).
+func (rt *Runtime) SetInitial(h *Handle, v any) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.values[deps.Version{Data: h.id, Ver: 0}] = versionSlot{val: v}
+}
+
+// Submit invokes a registered task asynchronously.
+func (rt *Runtime) Submit(name string, params ...Param) (*Future, error) {
+	rt.mu.Lock()
+	if rt.stopped {
+		rt.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	def, ok := rt.defs[name]
+	if !ok {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownTask, name)
+	}
+	if len(rt.cfg.Pool.Capable(def.Constraints)) == 0 {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s needs %+v", ErrUnplaceable, name, def.Constraints)
+	}
+
+	rt.nextTask++
+	id := rt.nextTask
+	var accesses []deps.Access
+	for i := range params {
+		if params[i].Handle == nil {
+			continue
+		}
+		dir := params[i].Dir
+		if dir == 0 {
+			dir = deps.In
+		}
+		if dir == deps.Commutative {
+			// The live runtime binds written values through the version
+			// map, so truly unordered commutative members would lose
+			// updates; serialise them as INOUT here. The simulator
+			// (internal/infra) keeps the reordering freedom, which is
+			// where it pays off.
+			dir = deps.InOut
+		}
+		params[i].Dir = dir
+		accesses = append(accesses, deps.Access{Data: params[i].Handle.id, Dir: dir})
+	}
+	res := rt.proc.Register(deps.TaskID(id), accesses)
+
+	t := &rtTask{
+		id:     id,
+		def:    def,
+		params: append([]Param(nil), params...),
+		reads:  res.Reads,
+		writes: res.Writes,
+		future: &Future{done: make(chan struct{})},
+	}
+	// Only count dependencies whose producer has not already finished.
+	// The finished flag flips under rt.mu (in execute), so this check
+	// cannot race with completion.
+	for _, d := range res.Deps {
+		if dep, ok := rt.tasks[int64(d)]; ok && !dep.finished {
+			dep.dependents = append(dep.dependents, id)
+			t.waitCount++
+		}
+	}
+	rt.tasks[id] = t
+	rt.cfg.Tracer.Record(trace.Event{At: rt.now(), Kind: trace.TaskSubmitted, Task: id, Info: name})
+	if t.waitCount == 0 {
+		rt.ready = append(rt.ready, id)
+	}
+	rt.mu.Unlock()
+	rt.nudge()
+	return t.future, nil
+}
+
+// nudge wakes the dispatcher without blocking.
+func (rt *Runtime) nudge() {
+	select {
+	case rt.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch is the scheduling loop: a single goroutine, so placement
+// decisions are serialised like the COMPSs Task Scheduler component.
+func (rt *Runtime) dispatch() {
+	defer close(rt.done)
+	for {
+		select {
+		case <-rt.quit:
+			return
+		case <-rt.wake:
+			rt.placeReady()
+		}
+	}
+}
+
+// placeReady starts every ready task that fits somewhere right now.
+func (rt *Runtime) placeReady() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	sort.Slice(rt.ready, func(i, j int) bool { return rt.ready[i] < rt.ready[j] })
+	var still []int64
+	for _, id := range rt.ready {
+		t := rt.tasks[id]
+		fitting := rt.cfg.Pool.Fitting(t.def.Constraints)
+		if len(fitting) == 0 {
+			still = append(still, id)
+			continue
+		}
+		view := &sched.TaskView{
+			ID:          id,
+			Class:       t.def.Name,
+			Constraints: t.def.Constraints,
+			InputKeys:   keysOf(t.reads),
+		}
+		node := rt.cfg.Policy.Pick(view, fitting, &sched.Context{
+			Registry:  rt.cfg.Locations,
+			Predictor: rt.cfg.Predictor,
+		})
+		if node == nil {
+			still = append(still, id)
+			continue
+		}
+		if err := node.Reserve(t.def.Constraints); err != nil {
+			still = append(still, id)
+			continue
+		}
+		rt.inflight++
+		args, depErr := rt.materialiseLocked(t)
+		rt.wg.Add(1)
+		go rt.execute(t, node, args, depErr)
+	}
+	rt.ready = still
+}
+
+func keysOf(vs []deps.Version) []transfer.Key {
+	out := make([]transfer.Key, len(vs))
+	for i, v := range vs {
+		out[i] = transfer.KeyOf(v)
+	}
+	return out
+}
+
+// materialiseLocked resolves parameter values. Caller holds rt.mu.
+func (rt *Runtime) materialiseLocked(t *rtTask) ([]any, error) {
+	args := make([]any, len(t.params))
+	readIdx := 0
+	var depErr error
+	for i, p := range t.params {
+		if p.Handle == nil {
+			args[i] = p.Value
+			continue
+		}
+		if p.Dir.Reads() {
+			v := t.reads[readIdx]
+			readIdx++
+			slot := rt.values[v]
+			if slot.err != nil && depErr == nil {
+				depErr = fmt.Errorf("%w: input %v: %v", ErrDependencyFailed, v, slot.err)
+			}
+			args[i] = slot.val
+		}
+	}
+	return args, depErr
+}
+
+// execute runs one task on its reserved node.
+func (rt *Runtime) execute(t *rtTask, node *resources.Node, args []any, depErr error) {
+	defer rt.wg.Done()
+	rt.cfg.Tracer.Record(trace.Event{At: rt.now(), Kind: trace.TaskStarted, Task: t.id, Node: node.Name(), Info: t.def.Name})
+	t.started = time.Now()
+
+	var vals []any
+	err := depErr
+	if err == nil {
+		for attempt := 0; ; attempt++ {
+			vals, err = t.def.Fn(context.Background(), args)
+			if err == nil || attempt >= t.def.Retries {
+				break
+			}
+		}
+	}
+	elapsed := time.Since(t.started)
+
+	// Bind returned values to written versions (in parameter order).
+	if err == nil && len(vals) != len(t.writes) {
+		err = fmt.Errorf("%w: %s returned %d values for %d written parameters",
+			ErrArity, t.def.Name, len(vals), len(t.writes))
+	}
+
+	node.Release(t.def.Constraints)
+
+	rt.mu.Lock()
+	for i, w := range t.writes {
+		if err != nil {
+			rt.values[w] = versionSlot{err: err}
+			continue
+		}
+		rt.values[w] = versionSlot{val: vals[i]}
+		if rt.cfg.Locations != nil {
+			rt.cfg.Locations.AddReplica(transfer.KeyOf(w), node.Name())
+		}
+		if rt.cfg.Provenance != nil {
+			inputs := make([]string, 0, len(t.reads))
+			for _, r := range t.reads {
+				inputs = append(inputs, trace.VersionKey(int64(r.Data), r.Ver))
+			}
+			rt.cfg.Provenance.RecordProduction(trace.VersionKey(int64(w.Data), w.Ver), t.id, inputs)
+		}
+	}
+	if rt.cfg.Predictor != nil && err == nil {
+		rt.cfg.Predictor.Observe(t.def.Name, 0, elapsed)
+	}
+	for _, dep := range t.dependents {
+		dt := rt.tasks[dep]
+		dt.waitCount--
+		if dt.waitCount == 0 {
+			rt.ready = append(rt.ready, dep)
+		}
+	}
+	t.finished = true
+	rt.inflight--
+	rt.mu.Unlock()
+
+	t.future.vals = vals
+	t.future.err = err
+	close(t.future.done)
+	kind := trace.TaskCompleted
+	if err != nil {
+		kind = trace.TaskFailed
+	}
+	rt.cfg.Tracer.Record(trace.Event{At: rt.now(), Kind: kind, Task: t.id, Node: node.Name()})
+	rt.nudge()
+}
+
+// WaitOn synchronises on the newest version of a handle and returns its
+// value — PyCOMPSs' compss_wait_on.
+func (rt *Runtime) WaitOn(h *Handle) (any, error) {
+	rt.mu.Lock()
+	ver := rt.proc.CurrentVersion(h.id)
+	// Find the task that writes this version (if any) and wait for it.
+	var producer *rtTask
+	for _, t := range rt.tasks {
+		for _, w := range t.writes {
+			if w == ver {
+				producer = t
+				break
+			}
+		}
+		if producer != nil {
+			break
+		}
+	}
+	rt.mu.Unlock()
+
+	if producer != nil {
+		if _, err := producer.future.Wait(); err != nil {
+			return nil, err
+		}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	slot := rt.values[ver]
+	return slot.val, slot.err
+}
+
+// Barrier blocks until every submitted task has finished.
+func (rt *Runtime) Barrier() {
+	for {
+		rt.mu.Lock()
+		var pending []*Future
+		for _, t := range rt.tasks {
+			if !t.future.Done() {
+				pending = append(pending, t.future)
+			}
+		}
+		rt.mu.Unlock()
+		if len(pending) == 0 {
+			return
+		}
+		for _, f := range pending {
+			<-f.done
+		}
+	}
+}
+
+// Stats summarises runtime activity.
+type Stats struct {
+	Submitted int
+	DepsEdges deps.Stats
+}
+
+// Stats returns counters.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return Stats{Submitted: int(rt.nextTask), DepsEdges: rt.proc.Stats()}
+}
+
+// Pool exposes the node pool (for agents that add/remove resources at
+// execution time, paper Sec. VI-B).
+func (rt *Runtime) Pool() *resources.Pool { return rt.cfg.Pool }
+
+// CurrentVersion reports the newest registered version of a handle.
+func (rt *Runtime) CurrentVersion(h *Handle) deps.Version {
+	return rt.proc.CurrentVersion(h.id)
+}
+
+// Shutdown drains running tasks and stops the dispatcher. Pending-but-
+// unstarted tasks still run; new submissions fail with ErrShutdown.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	if rt.stopped {
+		rt.mu.Unlock()
+		<-rt.done
+		return
+	}
+	rt.stopped = true
+	rt.mu.Unlock()
+
+	rt.Barrier()
+	rt.wg.Wait()
+	close(rt.quit)
+	<-rt.done
+}

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mlpredict"
+	"repro/internal/resources"
+	"repro/internal/trace"
+)
+
+func newRT(t *testing.T, cfg Config) *Runtime {
+	t.Helper()
+	rt := New(cfg)
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func registerArith(t *testing.T, rt *Runtime) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(rt.Register(TaskDef{Name: "set", Fn: func(_ context.Context, args []any) ([]any, error) {
+		return []any{args[0]}, nil // value -> out handle
+	}}))
+	must(rt.Register(TaskDef{Name: "add", Fn: func(_ context.Context, args []any) ([]any, error) {
+		a, aok := args[0].(int)
+		b, bok := args[1].(int)
+		if !aok || !bok {
+			return nil, errors.New("add: bad args")
+		}
+		return []any{a + b}, nil
+	}}))
+	must(rt.Register(TaskDef{Name: "inc", Fn: func(_ context.Context, args []any) ([]any, error) {
+		v, ok := args[0].(int)
+		if !ok {
+			return nil, errors.New("inc: bad arg")
+		}
+		return []any{v + 1}, nil
+	}}))
+}
+
+func TestBasicChain(t *testing.T) {
+	rt := newRT(t, Config{})
+	registerArith(t, rt)
+
+	x := rt.NewData()
+	// set(5) -> x ; inc(x) -> x ; inc(x) -> x  ⇒ 7
+	if _, err := rt.Submit("set", In(5), Write(x)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit("inc", Update(x)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit("inc", Update(x)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.WaitOn(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("WaitOn = %v, want 7", got)
+	}
+}
+
+func TestDiamondDataflow(t *testing.T) {
+	rt := newRT(t, Config{})
+	registerArith(t, rt)
+
+	a, b, c, d := rt.NewData(), rt.NewData(), rt.NewData(), rt.NewData()
+	if _, err := rt.Submit("set", In(10), Write(a)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit("add", Read(a), In(1), Write(b)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit("add", Read(a), In(2), Write(c)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit("add", Read(b), Read(c), Write(d)); err != nil { // (10+1)+(10+2)
+		t.Fatal(err)
+	}
+	got, err := rt.WaitOn(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 23 {
+		t.Fatalf("diamond = %v, want 23", got)
+	}
+}
+
+func TestParallelismActuallyHappens(t *testing.T) {
+	rt := newRT(t, Config{})
+	var concurrent, peak int32
+	if err := rt.Register(TaskDef{Name: "sleepy", Fn: func(_ context.Context, _ []any) ([]any, error) {
+		c := atomic.AddInt32(&concurrent, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		atomic.AddInt32(&concurrent, -1)
+		return nil, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := rt.Submit("sleepy"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Barrier()
+	if atomic.LoadInt32(&peak) < 2 {
+		t.Fatalf("peak concurrency = %d, want ≥ 2", peak)
+	}
+	// Default pool has 4 cores: concurrency must never exceed 4.
+	if atomic.LoadInt32(&peak) > 4 {
+		t.Fatalf("peak concurrency = %d exceeds 4 cores", peak)
+	}
+}
+
+func TestConstraintsLimitConcurrency(t *testing.T) {
+	pool := resources.NewPool()
+	_ = pool.Add(resources.NewNode("n", resources.Description{Cores: 8, MemoryMB: 1000}))
+	rt := newRT(t, Config{Pool: pool})
+	var concurrent, peak int32
+	if err := rt.Register(TaskDef{
+		Name:        "big",
+		Constraints: resources.Constraints{MemoryMB: 500},
+		Fn: func(_ context.Context, _ []any) ([]any, error) {
+			c := atomic.AddInt32(&concurrent, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			atomic.AddInt32(&concurrent, -1)
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := rt.Submit("big"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Barrier()
+	if got := atomic.LoadInt32(&peak); got > 2 {
+		t.Fatalf("peak = %d, memory constraint allows only 2", got)
+	}
+}
+
+func TestUnknownTask(t *testing.T) {
+	rt := newRT(t, Config{})
+	if _, err := rt.Submit("ghost"); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("err = %v, want ErrUnknownTask", err)
+	}
+}
+
+func TestUnplaceableRejectedAtSubmit(t *testing.T) {
+	rt := newRT(t, Config{})
+	if err := rt.Register(TaskDef{
+		Name:        "huge",
+		Constraints: resources.Constraints{Cores: 1024},
+		Fn:          func(_ context.Context, _ []any) ([]any, error) { return nil, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit("huge"); !errors.Is(err, ErrUnplaceable) {
+		t.Fatalf("err = %v, want ErrUnplaceable", err)
+	}
+}
+
+func TestErrorPropagatesToDependents(t *testing.T) {
+	rt := newRT(t, Config{})
+	registerArith(t, rt)
+	boom := errors.New("boom")
+	if err := rt.Register(TaskDef{Name: "fail", Fn: func(_ context.Context, _ []any) ([]any, error) {
+		return []any{nil}, boom
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	x := rt.NewData()
+	f1, err := rt.Submit("fail", Write(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := rt.Submit("inc", Update(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("f1 err = %v", err)
+	}
+	if _, err := f2.Wait(); !errors.Is(err, ErrDependencyFailed) {
+		t.Fatalf("f2 err = %v, want ErrDependencyFailed", err)
+	}
+	if _, err := rt.WaitOn(x); err == nil {
+		t.Fatal("WaitOn of poisoned handle should fail")
+	}
+}
+
+func TestArityMismatch(t *testing.T) {
+	rt := newRT(t, Config{})
+	if err := rt.Register(TaskDef{Name: "lying", Fn: func(_ context.Context, _ []any) ([]any, error) {
+		return []any{1, 2}, nil // claims 2 outputs
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	x := rt.NewData()
+	f, err := rt.Submit("lying", Write(x)) // only 1 written param
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Wait(); !errors.Is(err, ErrArity) {
+		t.Fatalf("err = %v, want ErrArity", err)
+	}
+}
+
+func TestSetInitialAndWaitOnUnwritten(t *testing.T) {
+	rt := newRT(t, Config{})
+	registerArith(t, rt)
+	x := rt.NewData()
+	rt.SetInitial(x, 41)
+	got, err := rt.WaitOn(x)
+	if err != nil || got != 41 {
+		t.Fatalf("WaitOn initial = %v %v", got, err)
+	}
+	if _, err := rt.Submit("inc", Update(x)); err != nil {
+		t.Fatal(err)
+	}
+	got, err = rt.WaitOn(x)
+	if err != nil || got != 42 {
+		t.Fatalf("WaitOn = %v %v, want 42", got, err)
+	}
+}
+
+func TestSubmitAfterShutdown(t *testing.T) {
+	rt := New(Config{})
+	registerArith(t, rt)
+	rt.Shutdown()
+	if _, err := rt.Submit("set", In(1)); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("err = %v, want ErrShutdown", err)
+	}
+	rt.Shutdown() // idempotent
+}
+
+func TestLateSubmissionSeesCompletedDependency(t *testing.T) {
+	rt := newRT(t, Config{})
+	registerArith(t, rt)
+	x := rt.NewData()
+	f, err := rt.Submit("set", In(3), Write(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Producer already finished; the reader must still run (not hang).
+	y := rt.NewData()
+	if _, err := rt.Submit("add", Read(x), In(4), Write(y)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rt.WaitOn(y)
+	if err != nil || got != 7 {
+		t.Fatalf("late read = %v %v, want 7", got, err)
+	}
+}
+
+func TestManyTasksStress(t *testing.T) {
+	rt := newRT(t, Config{})
+	registerArith(t, rt)
+	x := rt.NewData()
+	if _, err := rt.Submit("set", In(0), Write(x)); err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, err := rt.Submit("inc", Update(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := rt.WaitOn(x)
+	if err != nil || got != n {
+		t.Fatalf("chain of %d incs = %v %v", n, got, err)
+	}
+}
+
+func TestIndependentFanOut(t *testing.T) {
+	rt := newRT(t, Config{})
+	registerArith(t, rt)
+	const n = 100
+	futures := make([]*Future, n)
+	handles := make([]*Handle, n)
+	for i := 0; i < n; i++ {
+		handles[i] = rt.NewData()
+		f, err := rt.Submit("set", In(i), Write(handles[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures[i] = f
+	}
+	for i, h := range handles {
+		got, err := rt.WaitOn(h)
+		if err != nil || got != i {
+			t.Fatalf("handle %d = %v %v", i, got, err)
+		}
+	}
+}
+
+func TestPredictorObservesRealDurations(t *testing.T) {
+	pred := mlpredict.NewPredictor(time.Hour)
+	rt := newRT(t, Config{Predictor: pred})
+	if err := rt.Register(TaskDef{Name: "nap", Fn: func(_ context.Context, _ []any) ([]any, error) {
+		time.Sleep(10 * time.Millisecond)
+		return nil, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Submit("nap"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Barrier()
+	got := pred.Predict("nap", 0)
+	if got < 5*time.Millisecond || got > 500*time.Millisecond {
+		t.Fatalf("predicted %v, want ~10ms", got)
+	}
+}
+
+func TestTraceAndProvenance(t *testing.T) {
+	tr := trace.New(0)
+	prov := trace.NewProvenance()
+	rt := newRT(t, Config{Tracer: tr, Provenance: prov})
+	registerArith(t, rt)
+	x, y := rt.NewData(), rt.NewData()
+	if _, err := rt.Submit("set", In(1), Write(x)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit("add", Read(x), In(2), Write(y)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Barrier()
+	if tr.Count(trace.TaskCompleted) != 2 {
+		t.Fatalf("completed events = %d", tr.Count(trace.TaskCompleted))
+	}
+	// y's version 1 must descend from x's version 1.
+	anc := prov.Ancestry(trace.VersionKey(int64(y.ID()), 1))
+	if len(anc) != 1 || anc[0] != trace.VersionKey(int64(x.ID()), 1) {
+		t.Fatalf("ancestry = %v", anc)
+	}
+}
+
+func TestStatsCountEdges(t *testing.T) {
+	rt := newRT(t, Config{})
+	registerArith(t, rt)
+	x := rt.NewData()
+	if _, err := rt.Submit("set", In(1), Write(x)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit("inc", Update(x)); err != nil {
+		t.Fatal(err)
+	}
+	rt.Barrier()
+	s := rt.Stats()
+	if s.Submitted != 2 || s.DepsEdges.RAW != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRetriesMaskTransientFailures(t *testing.T) {
+	rt := newRT(t, Config{})
+	var attempts int32
+	if err := rt.Register(TaskDef{
+		Name:    "flaky",
+		Retries: 3,
+		Fn: func(_ context.Context, _ []any) ([]any, error) {
+			if atomic.AddInt32(&attempts, 1) < 3 {
+				return nil, errors.New("transient")
+			}
+			return []any{"ok"}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	x := rt.NewData()
+	f, err := rt.Submit("flaky", Write(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := f.Wait()
+	if err != nil || vals[0] != "ok" {
+		t.Fatalf("Wait = %v %v", vals, err)
+	}
+	if atomic.LoadInt32(&attempts) != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	rt := newRT(t, Config{})
+	var attempts int32
+	boom := errors.New("permanent")
+	if err := rt.Register(TaskDef{
+		Name:    "doomed",
+		Retries: 2,
+		Fn: func(_ context.Context, _ []any) ([]any, error) {
+			atomic.AddInt32(&attempts, 1)
+			return nil, boom
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := rt.Submit("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if atomic.LoadInt32(&attempts) != 3 { // 1 + 2 retries
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestTraceEventsCarryTimestamps(t *testing.T) {
+	tr := trace.New(0)
+	rt := newRT(t, Config{Tracer: tr})
+	if err := rt.Register(TaskDef{Name: "nap10", Fn: func(_ context.Context, _ []any) ([]any, error) {
+		time.Sleep(10 * time.Millisecond)
+		return nil, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit("nap10"); err != nil {
+		t.Fatal(err)
+	}
+	rt.Barrier()
+	spans := trace.Timeline(tr.Events())
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if spans[0].Duration() < 5*time.Millisecond {
+		t.Fatalf("span duration %v, want ≥ 5ms", spans[0].Duration())
+	}
+}

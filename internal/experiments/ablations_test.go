@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+func TestA1RenamingRemovesFalseEdges(t *testing.T) {
+	rows, err := A1Renaming(5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, without := rows[0], rows[1]
+	if !with.Renaming || without.Renaming {
+		t.Fatal("row order wrong")
+	}
+	if with.WAR != 0 || with.WAW != 0 {
+		t.Fatalf("renaming left false edges: %+v", with)
+	}
+	if without.WAR == 0 {
+		t.Fatalf("no-renaming produced no WAR edges on a stencil: %+v", without)
+	}
+	if without.TotalEdges <= with.TotalEdges {
+		t.Fatalf("edges: with=%d without=%d", with.TotalEdges, without.TotalEdges)
+	}
+	if without.Makespan < with.Makespan {
+		t.Fatalf("false dependencies cannot speed things up: with=%v without=%v",
+			with.Makespan, without.Makespan)
+	}
+}
+
+func TestA2PriorityOrderingHelps(t *testing.T) {
+	rows, err := A2Priority(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, stripped := rows[0], rows[1]
+	if full.Makespan > stripped.Makespan {
+		t.Fatalf("LPT ordering made things worse: full=%v stripped=%v",
+			full.Makespan, stripped.Makespan)
+	}
+}

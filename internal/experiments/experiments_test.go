@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/workloads"
+)
+
+// smallGWAS keeps experiment tests fast.
+func smallGWAS() workloads.GWASConfig {
+	return workloads.GWASConfig{
+		Chromosomes:         6,
+		ImputationsPerChrom: 30,
+		MeanTaskSeconds:     60,
+		LowMemMB:            2000,
+		HighMemMB:           16000,
+		HighMemFrac:         0.2,
+		InputFileMB:         50,
+		Seed:                1,
+	}
+}
+
+func TestE1SpeedupGrowsWithNodes(t *testing.T) {
+	points, err := E1Guidance([]int{1, 2, 4, 8}, smallGWAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Speedup != 1 {
+		t.Fatalf("base speedup = %v", points[0].Speedup)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Makespan > points[i-1].Makespan {
+			t.Fatalf("makespan grew with more nodes: %+v", points)
+		}
+	}
+	// "Good scalability": 8 nodes must give a clearly super-2x speedup.
+	if points[3].Speedup < 2 {
+		t.Fatalf("8-node speedup = %v, want ≥ 2", points[3].Speedup)
+	}
+}
+
+func TestE2VariableMemoryWins(t *testing.T) {
+	res, err := E2MemoryConstraints(2, smallGWAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports ≈50% reduction; the shape requirement is a
+	// substantial (>25%) improvement.
+	if res.Reduction < 0.25 {
+		t.Fatalf("memory-constraint reduction = %.2f (static %v, variable %v), want > 0.25",
+			res.Reduction, res.StaticMakespan, res.VariableMakespan)
+	}
+}
+
+func TestE3ParallelInitWins(t *testing.T) {
+	cfg := workloads.DefaultNMMB()
+	cfg.Cycles = 2
+	res, err := E3NMMBInit(4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup <= 1.0 {
+		t.Fatalf("NMMB speedup = %v, want > 1", res.Speedup)
+	}
+}
+
+func TestE4LocalityMovesLessData(t *testing.T) {
+	rows, err := E4StorageLocality(4, 8, 200, []sched.Policy{sched.Locality{}, sched.FIFO{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, fifo := rows[0], rows[1]
+	if loc.BytesMoved != 0 {
+		t.Fatalf("locality moved %d bytes, want 0", loc.BytesMoved)
+	}
+	if fifo.BytesMoved == 0 {
+		t.Fatal("fifo moved no data: experiment setup broken")
+	}
+	if loc.Makespan > fifo.Makespan {
+		t.Fatalf("locality makespan %v worse than fifo %v", loc.Makespan, fifo.Makespan)
+	}
+}
+
+func TestE5MethodShippingSavesTransfers(t *testing.T) {
+	res, err := E5MethodShipping(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio < 100 {
+		t.Fatalf("fetch/shipping ratio = %.1f, want ≥ 100 (shipped=%d fetched=%d)",
+			res.Ratio, res.ShippedBytes, res.FetchedBytes)
+	}
+}
+
+func TestE6OffloadingBeatsLocalOnly(t *testing.T) {
+	res, err := E6FogOffload(12, 3, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup <= 1.0 {
+		t.Fatalf("offload speedup = %.2f (local %v, peers %v)", res.Speedup, res.LocalOnly, res.WithPeers)
+	}
+}
+
+func TestE7PersistenceCheapensRecovery(t *testing.T) {
+	rows, err := E7FailureRecovery(6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, without := rows[0], rows[1]
+	if !with.Persistence || without.Persistence {
+		t.Fatal("row order wrong")
+	}
+	if with.TasksFailed == 0 {
+		t.Fatal("failure injection did not kill any task")
+	}
+	if with.TasksReExecuted != 0 {
+		t.Fatalf("persistence run re-executed %d completed tasks, want 0", with.TasksReExecuted)
+	}
+	if without.TasksReExecuted == 0 {
+		t.Fatal("no-persistence run should recompute lost outputs")
+	}
+	if without.Makespan <= with.Makespan {
+		t.Fatalf("no-persistence makespan %v should exceed persistence %v",
+			without.Makespan, with.Makespan)
+	}
+}
+
+func TestE8MLImprovesWithHistory(t *testing.T) {
+	points, err := E8MLScheduler(4, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := points[len(points)-1]
+	if last.MLMakespan >= last.FIFOMakespan {
+		t.Fatalf("trained ML makespan %v not better than FIFO %v",
+			last.MLMakespan, last.FIFOMakespan)
+	}
+}
+
+func TestE9CrossoverExists(t *testing.T) {
+	points, err := E9StoreRecompute([]float64{1, 10, 100, 1000, 10000}, 6, 1000, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At terrible bandwidth recompute wins; at great bandwidth store wins.
+	first, last := points[0], points[len(points)-1]
+	if first.RecomputeAll >= first.StoreAll {
+		t.Fatalf("at %v MB/s recompute %v should beat store %v",
+			first.StorageMBps, first.RecomputeAll, first.StoreAll)
+	}
+	if last.StoreAll >= last.RecomputeAll {
+		t.Fatalf("at %v MB/s store %v should beat recompute %v",
+			last.StorageMBps, last.StoreAll, last.RecomputeAll)
+	}
+	// Adaptive tracks the winner everywhere (1% slack).
+	for _, p := range points {
+		best := p.StoreAll
+		if p.RecomputeAll < best {
+			best = p.RecomputeAll
+		}
+		if float64(p.Adaptive) > 1.01*float64(best) {
+			t.Fatalf("adaptive %v worse than best %v at %v MB/s", p.Adaptive, best, p.StorageMBps)
+		}
+	}
+}
+
+func TestE10EnergyPolicySavesEnergy(t *testing.T) {
+	rows, err := E10EnergyAware(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, energy := rows[0], rows[1]
+	if energy.ActiveJ >= perf.ActiveJ {
+		t.Fatalf("energy policy used %v J active vs perf %v J", energy.ActiveJ, perf.ActiveJ)
+	}
+	// The trade must respect the slowdown cap (5x).
+	if energy.Makespan > 5*perf.Makespan {
+		t.Fatalf("energy makespan %v blew past the 5x cap of %v", energy.Makespan, perf.Makespan)
+	}
+}
+
+func TestE11ElasticUsesFewerNodeSeconds(t *testing.T) {
+	rows, err := E11Elasticity(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, elastic := rows[0], rows[1]
+	if elastic.NodeSeconds >= fixed.NodeSeconds {
+		t.Fatalf("elastic node-seconds %.0f not below fixed %.0f",
+			elastic.NodeSeconds, fixed.NodeSeconds)
+	}
+	if elastic.PeakNodes > 8 {
+		t.Fatalf("elastic peak %d exceeds MaxNodes", elastic.PeakNodes)
+	}
+}
+
+func TestE12AllLevelsAgree(t *testing.T) {
+	rows, err := E12AbstractionLevels(200, 50, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[1:] {
+		if r.Value != rows[0].Value {
+			t.Fatalf("levels disagree: %+v", rows)
+		}
+	}
+}

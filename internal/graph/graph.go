@@ -1,0 +1,264 @@
+// Package graph implements the directed acyclic task graph ("a workflow can
+// be graphically described as a graph, where the nodes denote the
+// computations and the edges data or control dependencies", paper Sec. II-A).
+//
+// The access processor (internal/deps) produces edges; the runtime and the
+// simulator consume topological structure, level widths (available
+// parallelism) and the critical path (lower bound on makespan).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ErrCycle is returned when an operation requires a DAG but the graph has a
+// cycle.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// DAG is a directed graph keyed by int64 node IDs. The zero value is not
+// usable; construct with New. DAG is not safe for concurrent mutation.
+type DAG struct {
+	nodes map[int64]struct{}
+	succ  map[int64][]int64
+	pred  map[int64][]int64
+	edges map[[2]int64]struct{}
+}
+
+// New returns an empty graph.
+func New() *DAG {
+	return &DAG{
+		nodes: make(map[int64]struct{}),
+		succ:  make(map[int64][]int64),
+		pred:  make(map[int64][]int64),
+		edges: make(map[[2]int64]struct{}),
+	}
+}
+
+// AddNode inserts a node; adding an existing node is a no-op.
+func (g *DAG) AddNode(id int64) {
+	g.nodes[id] = struct{}{}
+}
+
+// HasNode reports whether id is in the graph.
+func (g *DAG) HasNode(id int64) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// AddEdge inserts a directed edge from → to, creating missing endpoints.
+// Duplicate edges and self-loops are ignored (a self-loop would make the
+// graph cyclic; dependency registration never produces one).
+func (g *DAG) AddEdge(from, to int64) {
+	if from == to {
+		return
+	}
+	key := [2]int64{from, to}
+	if _, dup := g.edges[key]; dup {
+		return
+	}
+	g.AddNode(from)
+	g.AddNode(to)
+	g.edges[key] = struct{}{}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+}
+
+// HasEdge reports whether the edge from → to exists.
+func (g *DAG) HasEdge(from, to int64) bool {
+	_, ok := g.edges[[2]int64{from, to}]
+	return ok
+}
+
+// Len returns the number of nodes.
+func (g *DAG) Len() int { return len(g.nodes) }
+
+// EdgeCount returns the number of edges.
+func (g *DAG) EdgeCount() int { return len(g.edges) }
+
+// Successors returns a copy of the out-neighbours of id.
+func (g *DAG) Successors(id int64) []int64 {
+	out := make([]int64, len(g.succ[id]))
+	copy(out, g.succ[id])
+	return out
+}
+
+// Predecessors returns a copy of the in-neighbours of id.
+func (g *DAG) Predecessors(id int64) []int64 {
+	out := make([]int64, len(g.pred[id]))
+	copy(out, g.pred[id])
+	return out
+}
+
+// InDegree returns the number of incoming edges of id.
+func (g *DAG) InDegree(id int64) int { return len(g.pred[id]) }
+
+// OutDegree returns the number of outgoing edges of id.
+func (g *DAG) OutDegree(id int64) int { return len(g.succ[id]) }
+
+// Roots returns the nodes with no predecessors, sorted by ID.
+func (g *DAG) Roots() []int64 {
+	var roots []int64
+	for id := range g.nodes {
+		if len(g.pred[id]) == 0 {
+			roots = append(roots, id)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	return roots
+}
+
+// Leaves returns the nodes with no successors, sorted by ID.
+func (g *DAG) Leaves() []int64 {
+	var leaves []int64
+	for id := range g.nodes {
+		if len(g.succ[id]) == 0 {
+			leaves = append(leaves, id)
+		}
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
+	return leaves
+}
+
+// TopoOrder returns a deterministic topological ordering (Kahn's algorithm,
+// smallest ID first among ready nodes) or ErrCycle.
+func (g *DAG) TopoOrder() ([]int64, error) {
+	indeg := make(map[int64]int, len(g.nodes))
+	for id := range g.nodes {
+		indeg[id] = len(g.pred[id])
+	}
+	ready := g.Roots()
+	order := make([]int64, 0, len(g.nodes))
+	for len(ready) > 0 {
+		// Pop smallest for determinism.
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		var unlocked []int64
+		for _, s := range g.succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				unlocked = append(unlocked, s)
+			}
+		}
+		if len(unlocked) > 0 {
+			ready = append(ready, unlocked...)
+			sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// HasCycle reports whether the graph contains a cycle.
+func (g *DAG) HasCycle() bool {
+	_, err := g.TopoOrder()
+	return err != nil
+}
+
+// Levels partitions nodes into dependency levels: level 0 holds the roots,
+// level i+1 the nodes all of whose predecessors sit at levels ≤ i with at
+// least one at level i. The slice of level widths is the workflow's
+// parallelism profile. Returns ErrCycle on cyclic graphs.
+func (g *DAG) Levels() ([][]int64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	level := make(map[int64]int, len(order))
+	maxLevel := 0
+	for _, id := range order {
+		l := 0
+		for _, p := range g.pred[id] {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[id] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	out := make([][]int64, maxLevel+1)
+	for _, id := range order {
+		out[level[id]] = append(out[level[id]], id)
+	}
+	return out, nil
+}
+
+// CriticalPath returns the longest weighted path through the DAG — the lower
+// bound on makespan with unlimited resources — and the node sequence
+// achieving it. Weights are per-node costs; missing nodes weigh zero.
+func (g *DAG) CriticalPath(weight map[int64]time.Duration) (time.Duration, []int64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, nil, err
+	}
+	dist := make(map[int64]time.Duration, len(order))
+	prev := make(map[int64]int64, len(order))
+	var bestEnd int64
+	var best time.Duration = -1
+	for _, id := range order {
+		d := weight[id]
+		for _, p := range g.pred[id] {
+			if cand := dist[p] + weight[id]; cand > d {
+				d = cand
+				prev[id] = p
+			} else if _, seen := prev[id]; !seen && len(g.pred[id]) > 0 {
+				// keep deterministic predecessor for equal paths
+				if dist[p]+weight[id] == d {
+					prev[id] = p
+				}
+			}
+		}
+		dist[id] = d
+		if d > best || (d == best && id < bestEnd) {
+			best, bestEnd = d, id
+		}
+	}
+	if best < 0 {
+		return 0, nil, nil
+	}
+	// Reconstruct path.
+	var path []int64
+	for id := bestEnd; ; {
+		path = append(path, id)
+		p, ok := prev[id]
+		if !ok {
+			break
+		}
+		id = p
+	}
+	// Reverse.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return best, path, nil
+}
+
+// TransitiveClosureSize returns, for the given node, the number of
+// descendants (nodes reachable through successor edges). Useful as a
+// priority heuristic: tasks that unlock more work schedule first.
+func (g *DAG) TransitiveClosureSize(id int64) int {
+	seen := make(map[int64]struct{})
+	stack := append([]int64(nil), g.succ[id]...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := seen[n]; ok {
+			continue
+		}
+		seen[n] = struct{}{}
+		stack = append(stack, g.succ[n]...)
+	}
+	return len(seen)
+}
+
+// String summarises the graph.
+func (g *DAG) String() string {
+	return fmt.Sprintf("dag{nodes=%d edges=%d}", len(g.nodes), len(g.edges))
+}

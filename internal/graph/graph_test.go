@@ -1,0 +1,234 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func diamond() *DAG {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 4)
+	g.AddEdge(3, 4)
+	return g
+}
+
+func TestAddEdgeCreatesNodes(t *testing.T) {
+	g := New()
+	g.AddEdge(10, 20)
+	if !g.HasNode(10) || !g.HasNode(20) {
+		t.Fatal("AddEdge did not create endpoints")
+	}
+	if !g.HasEdge(10, 20) || g.HasEdge(20, 10) {
+		t.Fatal("edge direction wrong")
+	}
+}
+
+func TestDuplicateEdgesIgnored(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2)
+	if g.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d, want 1", g.EdgeCount())
+	}
+	if d := g.InDegree(2); d != 1 {
+		t.Fatalf("InDegree(2) = %d, want 1", d)
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 1)
+	if g.EdgeCount() != 0 {
+		t.Fatal("self-loop was stored")
+	}
+}
+
+func TestRootsAndLeaves(t *testing.T) {
+	g := diamond()
+	if r := g.Roots(); len(r) != 1 || r[0] != 1 {
+		t.Fatalf("Roots = %v, want [1]", r)
+	}
+	if l := g.Leaves(); len(l) != 1 || l[0] != 4 {
+		t.Fatalf("Leaves = %v, want [4]", l)
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := diamond()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int64]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, e := range [][2]int64{{1, 2}, {1, 3}, {2, 4}, {3, 4}} {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Fatalf("order %v violates edge %v", order, e)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1)
+	if !g.HasCycle() {
+		t.Fatal("cycle not detected")
+	}
+	if _, err := g.TopoOrder(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("TopoOrder err = %v, want ErrCycle", err)
+	}
+	if _, err := g.Levels(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Levels err = %v, want ErrCycle", err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := diamond()
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("levels = %v, want 3 levels", levels)
+	}
+	if len(levels[1]) != 2 {
+		t.Fatalf("middle level = %v, want width 2", levels[1])
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := diamond()
+	w := map[int64]time.Duration{
+		1: 1 * time.Second,
+		2: 5 * time.Second,
+		3: 1 * time.Second,
+		4: 1 * time.Second,
+	}
+	d, path, err := g.CriticalPath(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 7*time.Second {
+		t.Fatalf("critical path = %v, want 7s", d)
+	}
+	want := []int64{1, 2, 4}
+	if len(path) != 3 {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestCriticalPathEmptyGraph(t *testing.T) {
+	g := New()
+	d, path, err := g.CriticalPath(nil)
+	if err != nil || d != 0 || path != nil {
+		t.Fatalf("empty graph: %v %v %v", d, path, err)
+	}
+}
+
+func TestTransitiveClosureSize(t *testing.T) {
+	g := diamond()
+	if n := g.TransitiveClosureSize(1); n != 3 {
+		t.Fatalf("closure(1) = %d, want 3", n)
+	}
+	if n := g.TransitiveClosureSize(4); n != 0 {
+		t.Fatalf("closure(4) = %d, want 0", n)
+	}
+}
+
+func TestChainLevels(t *testing.T) {
+	g := New()
+	for i := int64(0); i < 99; i++ {
+		g.AddEdge(i, i+1)
+	}
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 100 {
+		t.Fatalf("chain of 100 has %d levels", len(levels))
+	}
+}
+
+// Property: a randomly generated graph with edges only from lower to higher
+// IDs is always acyclic, and its topological order contains every node once.
+func TestRandomForwardGraphsAreAcyclic(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%50) + 2
+		g := New()
+		for i := 0; i < size; i++ {
+			g.AddNode(int64(i))
+		}
+		for i := 0; i < size*2; i++ {
+			a := rng.Intn(size - 1)
+			b := a + 1 + rng.Intn(size-a-1)
+			g.AddEdge(int64(a), int64(b))
+		}
+		if g.HasCycle() {
+			return false
+		}
+		order, err := g.TopoOrder()
+		if err != nil || len(order) != size {
+			return false
+		}
+		seen := make(map[int64]bool)
+		for _, id := range order {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: critical path length is at least the max single weight and at
+// most the sum of all weights.
+func TestCriticalPathBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(30) + 2
+		g := New()
+		w := make(map[int64]time.Duration, size)
+		var total, maxw time.Duration
+		for i := 0; i < size; i++ {
+			g.AddNode(int64(i))
+			d := time.Duration(rng.Intn(1000)+1) * time.Millisecond
+			w[int64(i)] = d
+			total += d
+			if d > maxw {
+				maxw = d
+			}
+		}
+		for i := 0; i < size; i++ {
+			a := rng.Intn(size - 1)
+			b := a + 1 + rng.Intn(size-a-1)
+			g.AddEdge(int64(a), int64(b))
+		}
+		cp, _, err := g.CriticalPath(w)
+		if err != nil {
+			return false
+		}
+		return cp >= maxw && cp <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package infra_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/infra"
+	"repro/internal/resources"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	"repro/internal/workloads"
+)
+
+// BenchmarkSimThroughput measures how many simulated tasks per second the
+// discrete-event engine processes — the figure that makes 100-node sweeps
+// affordable.
+func BenchmarkSimThroughput(b *testing.B) {
+	specs := workloads.EmbarrassinglyParallel(5000, time.Minute, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := resources.NewPool()
+		for n := 0; n < 8; n++ {
+			_ = pool.Add(resources.NewNode(fmt.Sprintf("n%d", n), resources.MareNostrumNode))
+		}
+		sim, err := infra.New(infra.Config{
+			Pool: pool, Net: simnet.New(simnet.Link{BandwidthMBps: 1000}), Policy: sched.MinLoad{},
+		}, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TasksCompleted != 5000 {
+			b.Fatalf("completed %d", res.TasksCompleted)
+		}
+	}
+	b.ReportMetric(float64(5000*b.N)/b.Elapsed().Seconds(), "sim-tasks/s")
+}

@@ -1,0 +1,761 @@
+// Package infra simulates an advanced cyberinfrastructure platform — the
+// substitute for the paper's MareNostrum runs, cloud deployments and fog
+// testbeds (DESIGN.md §4). It is a discrete-event engine over virtual time
+// (internal/simclock): tasks declare data accesses, the access processor
+// derives the dependency graph, a pluggable scheduling policy places ready
+// tasks on nodes, transfers are priced by the network model, and energy is
+// integrated per node.
+//
+// The engine also models the paper's dynamic behaviours: elasticity
+// (Sec. VI-A), node failures with recovery through persisted data
+// (Sec. VI-B, experiment E7) and online learning of task durations
+// (Sec. VI-C, experiment E8).
+package infra
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/deps"
+	"repro/internal/energy"
+	"repro/internal/mlpredict"
+	"repro/internal/resources"
+	"repro/internal/sched"
+	"repro/internal/simclock"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+	"repro/internal/transfer"
+)
+
+// TaskSpec declares one task of a simulated workflow.
+type TaskSpec struct {
+	// ID must be unique and registration happens in slice order, so
+	// dependencies always point to earlier specs.
+	ID int64
+	// Class names the task type (predictor key, trace label).
+	Class string
+	// Duration is the base compute time on a SpeedFactor-1 core.
+	Duration time.Duration
+	// Constraints are the resource requirements (paper Sec. VI-A).
+	Constraints resources.Constraints
+	// Accesses declare the data the task touches; the access processor
+	// turns them into dependencies.
+	Accesses []deps.Access
+	// OutputBytes sizes the data versions this task writes (keyed by
+	// DataID; applies to whichever version the write produces).
+	OutputBytes map[deps.DataID]int64
+	// Release keeps the task invisible to the scheduler until this
+	// virtual instant (bursty arrivals, e.g. sensor-driven workloads).
+	Release time.Duration
+}
+
+// Failure kills a node at a virtual instant (experiment E7: "part of the
+// application failed on a fog node (disappeared for low battery or because
+// no longer in the fog area)").
+type Failure struct {
+	Node string
+	At   time.Duration
+}
+
+// Config assembles a simulation.
+type Config struct {
+	// Pool is the starting set of nodes. Required.
+	Pool *resources.Pool
+	// Net models transfer costs. Required.
+	Net *simnet.Network
+	// Policy places ready tasks. Required.
+	Policy sched.Policy
+	// Predictor, when set, is trained online with completed-task
+	// durations and consulted by prediction-aware policies.
+	Predictor *mlpredict.Predictor
+	// Tracer, when set, receives events.
+	Tracer *trace.Tracer
+	// StageIn locates externally provided data (version 0) with sizes.
+	StageIn map[deps.DataID]int64
+	// StageInNode holds the staged-in data (default: first pool node).
+	StageInNode string
+	// StageInNodes overrides StageInNode per datum with explicit replica
+	// locations — how partitioned storage backends (Hecuba) advertise
+	// placement to the scheduler (E4).
+	StageInNodes map[deps.DataID][]string
+	// PersistNode, when non-empty, receives a replica of every task
+	// output — the dataClay persistence that makes recovery cheap
+	// ("whenever a task is submitted to a remote agent, the COMPSs
+	// runtime persists any not-yet-persisted object", Sec. VI-B).
+	PersistNode string
+	// Failures inject node deaths.
+	Failures []Failure
+	// Elastic enables pool scaling through the manager.
+	Elastic *resources.ElasticManager
+	// ElasticEvery is the evaluation period (default 10s).
+	ElasticEvery time.Duration
+	// DisableRenaming turns off data-version renaming in the access
+	// processor, so WAR/WAW false dependencies serialise the graph
+	// (ablation A1 in DESIGN.md §6).
+	DisableRenaming bool
+}
+
+// Result summarises a simulation run.
+type Result struct {
+	// Makespan is the completion time of the last task.
+	Makespan time.Duration
+	// TasksCompleted counts task executions that finished (re-executions
+	// count again).
+	TasksCompleted int
+	// TasksFailed counts executions killed by node failures.
+	TasksFailed int
+	// TasksReExecuted counts recovery re-runs of already-completed tasks
+	// (recompute of lost data).
+	TasksReExecuted int
+	// BytesMoved is the total payload transferred between nodes.
+	BytesMoved int64
+	// TransferTime is the summed transfer time on task critical paths.
+	TransferTime time.Duration
+	// ActiveEnergy and TotalEnergy are the energy figures (J).
+	ActiveEnergy energy.Joules
+	TotalEnergy  energy.Joules
+	// BusyCoreSeconds integrates core occupancy.
+	BusyCoreSeconds float64
+	// Utilization is BusyCoreSeconds over pool capacity × makespan.
+	Utilization float64
+	// PeakNodes is the largest pool size observed (elasticity).
+	PeakNodes int
+	// NodeSeconds integrates pool size over time (cost proxy for E11).
+	NodeSeconds float64
+	// DepEdges counts dependency edges by kind (RAW only unless
+	// DisableRenaming is set).
+	DepEdges deps.Stats
+}
+
+// task states
+type taskState int
+
+const (
+	statePending taskState = iota + 1
+	stateReady
+	stateRunning
+	stateDone
+)
+
+type simTask struct {
+	spec       TaskSpec
+	sig        string  // cached constraint signature (placement blocking)
+	prio       float64 // priority at the time the task became ready
+	state      taskState
+	waitCount  int // unmet dependencies
+	dependents []int64
+	reads      []transfer.Key
+	writes     []transfer.Key
+	inBytes    int64
+	// running bookkeeping
+	nodes   []string // reserved nodes (≥1; >1 for MPI tasks)
+	started time.Duration
+	epoch   int // placement counter; invalidates stale completion events
+	// recovery bookkeeping
+	redeps    map[int64]struct{} // tasks waiting on this re-execution
+	completed bool               // has completed at least once
+}
+
+// Sim is one simulation instance. Build with New, then Run once.
+type Sim struct {
+	cfg   Config
+	clock *simclock.Clock
+	mgr   *transfer.Manager
+	acct  *energy.Accountant
+	proc  *deps.Processor
+	tasks map[int64]*simTask
+	order []int64
+	// The ready set is organised as one FIFO per constraint signature:
+	// placeability depends only on the signature, so a scheduling wave
+	// touches each signature's head instead of rescanning every queued
+	// task (O(placements × signatures) — essential at paper scale).
+	ready  map[string][]int64
+	sigs   []string // sorted signature list (deterministic iteration)
+	readyN int
+	result Result
+
+	producer  map[transfer.Key]int64 // which task writes each version
+	nodeAdded map[string]time.Duration
+	remaining int
+	err       error
+}
+
+// Errors reported by Run.
+var (
+	ErrStuck       = errors.New("infra: tasks cannot be scheduled (unsatisfiable constraints or empty pool)")
+	ErrConfig      = errors.New("infra: invalid config")
+	ErrDuplicateID = errors.New("infra: duplicate task ID")
+)
+
+// New validates the config and registers the workflow.
+func New(cfg Config, specs []TaskSpec) (*Sim, error) {
+	if cfg.Pool == nil || cfg.Net == nil || cfg.Policy == nil {
+		return nil, fmt.Errorf("%w: pool, net and policy are required", ErrConfig)
+	}
+	if cfg.ElasticEvery <= 0 {
+		cfg.ElasticEvery = 10 * time.Second
+	}
+	var procOpts []deps.Option
+	if cfg.DisableRenaming {
+		procOpts = append(procOpts, deps.WithoutRenaming())
+	}
+	s := &Sim{
+		cfg:       cfg,
+		clock:     simclock.New(),
+		mgr:       transfer.NewManager(cfg.Net, transfer.NewRegistry()),
+		acct:      energy.NewAccountant(),
+		proc:      deps.NewProcessor(procOpts...),
+		tasks:     make(map[int64]*simTask, len(specs)),
+		ready:     make(map[string][]int64),
+		producer:  make(map[transfer.Key]int64),
+		nodeAdded: make(map[string]time.Duration),
+		remaining: len(specs),
+	}
+
+	// Stage in external data.
+	stageNode := cfg.StageInNode
+	if stageNode == "" {
+		if nodes := cfg.Pool.Nodes(); len(nodes) > 0 {
+			stageNode = nodes[0].Name()
+		}
+	}
+	for d, size := range cfg.StageIn {
+		k := transfer.Key{Data: d, Ver: 0}
+		s.mgr.Registry().SetSize(k, size)
+		if nodes, ok := cfg.StageInNodes[d]; ok && len(nodes) > 0 {
+			for _, n := range nodes {
+				s.mgr.Registry().AddReplica(k, n)
+			}
+			continue
+		}
+		if stageNode != "" {
+			s.mgr.Registry().AddReplica(k, stageNode)
+		}
+	}
+
+	// Register tasks through the access processor in slice order.
+	for _, spec := range specs {
+		if _, dup := s.tasks[spec.ID]; dup {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateID, spec.ID)
+		}
+		res := s.proc.Register(deps.TaskID(spec.ID), spec.Accesses)
+		t := &simTask{
+			spec:   spec,
+			sig:    constraintSig(spec.Constraints),
+			state:  statePending,
+			redeps: make(map[int64]struct{}),
+		}
+		for _, v := range res.Reads {
+			k := transfer.KeyOf(v)
+			t.reads = append(t.reads, k)
+			t.inBytes += s.mgr.Registry().Size(k)
+		}
+		for _, v := range res.Writes {
+			k := transfer.KeyOf(v)
+			t.writes = append(t.writes, k)
+			s.producer[k] = spec.ID
+			if size, ok := spec.OutputBytes[v.Data]; ok {
+				s.mgr.Registry().SetSize(k, size)
+			}
+		}
+		t.waitCount = len(res.Deps)
+		if spec.Release > 0 {
+			// One synthetic dependency cleared by a clock event.
+			t.waitCount++
+		}
+		for _, d := range res.Deps {
+			s.tasks[int64(d)].dependents = append(s.tasks[int64(d)].dependents, spec.ID)
+		}
+		s.tasks[spec.ID] = t
+		s.order = append(s.order, spec.ID)
+		if t.waitCount == 0 {
+			t.state = stateReady
+			s.pushReady(spec.ID)
+		}
+	}
+
+	for _, n := range cfg.Pool.Nodes() {
+		s.nodeAdded[n.Name()] = 0
+	}
+	return s, nil
+}
+
+// schedCtx builds the policy context.
+func (s *Sim) schedCtx() *sched.Context {
+	return &sched.Context{
+		Registry:  s.mgr.Registry(),
+		Net:       s.cfg.Net,
+		Predictor: s.cfg.Predictor,
+	}
+}
+
+// Run executes the simulation to completion and returns the result.
+func (s *Sim) Run() (Result, error) {
+	// Arm failure events.
+	for _, f := range s.cfg.Failures {
+		f := f
+		s.clock.At(f.At, func() { s.failNode(f.Node) })
+	}
+	// Arm release events.
+	for _, id := range s.order {
+		t := s.tasks[id]
+		if t.spec.Release <= 0 {
+			continue
+		}
+		id := id
+		s.clock.At(t.spec.Release, func() {
+			rt := s.tasks[id]
+			rt.waitCount--
+			if rt.waitCount == 0 && rt.state == statePending {
+				rt.state = stateReady
+				s.pushReady(id)
+				s.trySchedule()
+			}
+		})
+	}
+	// Arm elasticity.
+	if s.cfg.Elastic != nil {
+		var tick func()
+		tick = func() {
+			if s.remaining > 0 {
+				s.elasticStep()
+				s.clock.After(s.cfg.ElasticEvery, tick)
+			}
+		}
+		s.clock.After(s.cfg.ElasticEvery, tick)
+	}
+
+	s.trySchedule()
+	for s.remaining > 0 {
+		if !s.clock.Step() {
+			if s.err == nil {
+				s.err = fmt.Errorf("%w: %d tasks remain at %v", ErrStuck, s.remaining, s.clock.Now())
+			}
+			break
+		}
+		if s.err != nil {
+			break
+		}
+	}
+	// Drain trailing events (e.g. elastic ticks) without advancing work.
+	s.result.Makespan = s.clock.Now()
+	s.result.DepEdges = s.proc.Stats()
+
+	// Close energy/idle accounting and node-seconds.
+	var capCoreSeconds float64
+	for name, added := range s.nodeAdded {
+		span := s.clock.Now() - added
+		if span < 0 {
+			span = 0
+		}
+		if n, ok := s.cfg.Pool.Get(name); ok {
+			s.acct.SetSpan(name, n.Desc(), span)
+			capCoreSeconds += float64(n.Desc().Cores) * span.Seconds()
+			s.result.NodeSeconds += span.Seconds()
+		}
+	}
+	s.result.ActiveEnergy = s.acct.ActiveEnergy()
+	s.result.TotalEnergy = s.acct.TotalEnergy()
+	if capCoreSeconds > 0 {
+		s.result.Utilization = s.result.BusyCoreSeconds / capCoreSeconds
+	}
+	if s.result.PeakNodes == 0 {
+		s.result.PeakNodes = s.cfg.Pool.Len()
+	}
+	return s.result, s.err
+}
+
+// trySchedule attempts to place ready tasks, best head first, until every
+// signature is blocked or the queues drain.
+func (s *Sim) trySchedule() {
+	if s.readyN == 0 {
+		return
+	}
+	blocked := make(map[string]struct{})
+	for {
+		bestSig := ""
+		var bestTask *simTask
+		for _, sig := range s.sigs {
+			if _, b := blocked[sig]; b {
+				continue
+			}
+			q := s.ready[sig]
+			if len(q) == 0 {
+				continue
+			}
+			t := s.tasks[q[0]]
+			if bestTask == nil || headLess(t, bestTask) {
+				bestSig, bestTask = sig, t
+			}
+		}
+		if bestTask == nil {
+			return
+		}
+		if !s.place(bestTask.spec.ID) {
+			blocked[bestSig] = struct{}{}
+			continue
+		}
+		s.ready[bestSig] = s.ready[bestSig][1:]
+		s.readyN--
+	}
+}
+
+// headLess orders queue heads: multi-node first, then higher priority,
+// then lower ID.
+func headLess(a, b *simTask) bool {
+	an, bn := a.spec.Constraints.EffectiveNodes(), b.spec.Constraints.EffectiveNodes()
+	if an != bn {
+		return an > bn
+	}
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	return a.spec.ID < b.spec.ID
+}
+
+// pushReady inserts a task into its signature queue, keeping the queue
+// ordered by (priority desc, ID asc). The priority is evaluated once, at
+// push time (for prioritising policies).
+func (s *Sim) pushReady(id int64) {
+	t := s.tasks[id]
+	if p, ok := s.cfg.Policy.(sched.Prioritizer); ok {
+		t.prio = p.Priority(&sched.TaskView{
+			ID: id, Class: t.spec.Class, Constraints: t.spec.Constraints,
+			EstDuration: t.spec.Duration, InputKeys: t.reads, InputBytes: t.inBytes,
+		}, s.schedCtx())
+	}
+	q, exists := s.ready[t.sig]
+	if !exists {
+		// New signature: keep s.sigs sorted.
+		pos := sort.SearchStrings(s.sigs, t.sig)
+		s.sigs = append(s.sigs, "")
+		copy(s.sigs[pos+1:], s.sigs[pos:])
+		s.sigs[pos] = t.sig
+	}
+	// Binary insert; the common case (ascending IDs, equal priority)
+	// appends at the end in O(1).
+	at := sort.Search(len(q), func(i int) bool { return headLess(t, s.tasks[q[i]]) })
+	q = append(q, 0)
+	copy(q[at+1:], q[at:])
+	q[at] = id
+	s.ready[t.sig] = q
+	s.readyN++
+}
+
+// constraintSig canonicalises constraints for the placement-blocking set.
+func constraintSig(c resources.Constraints) string {
+	return fmt.Sprintf("%d/%d/%d/%d/%d/%v",
+		c.Cores, c.MemoryMB, c.GPUs, c.Nodes, c.Class, c.Software)
+}
+
+// place tries to start task id now; reports success.
+func (s *Sim) place(id int64) bool {
+	t := s.tasks[id]
+	fitting := s.cfg.Pool.Fitting(t.spec.Constraints)
+	wantNodes := t.spec.Constraints.EffectiveNodes()
+	if len(fitting) < wantNodes {
+		return false
+	}
+	view := &sched.TaskView{
+		ID:          id,
+		Class:       t.spec.Class,
+		Constraints: t.spec.Constraints,
+		EstDuration: t.spec.Duration,
+		InputKeys:   t.reads,
+		InputBytes:  t.inBytes,
+	}
+	primary := s.cfg.Policy.Pick(view, fitting, s.schedCtx())
+	if primary == nil {
+		return false
+	}
+	group := []*resources.Node{primary}
+	for _, n := range fitting {
+		if len(group) == wantNodes {
+			break
+		}
+		if n != primary {
+			group = append(group, n)
+		}
+	}
+	if len(group) < wantNodes {
+		return false
+	}
+	for i, n := range group {
+		if err := n.Reserve(t.spec.Constraints); err != nil {
+			for _, done := range group[:i] {
+				done.Release(t.spec.Constraints)
+			}
+			return false
+		}
+	}
+
+	// Stage inputs to the primary node.
+	plan := s.mgr.PlanFetch(primary.Name(), t.reads)
+	// Inputs with no replica anywhere should not happen outside recovery
+	// races; treat as zero-cost (the recovery path resubmits producers
+	// before dependents become ready).
+	s.mgr.Apply(plan)
+	s.result.BytesMoved += plan.Bytes
+	s.result.TransferTime += plan.Time
+	if plan.Bytes > 0 {
+		s.cfg.Tracer.Record(trace.Event{
+			At: s.clock.Now(), Kind: trace.DataTransfer, Task: id,
+			Node: primary.Name(), Info: fmt.Sprintf("%dB", plan.Bytes),
+		})
+	}
+
+	t.state = stateRunning
+	t.started = s.clock.Now()
+	t.epoch++
+	t.nodes = make([]string, len(group))
+	for i, n := range group {
+		t.nodes[i] = n.Name()
+	}
+	s.cfg.Tracer.Record(trace.Event{
+		At: s.clock.Now(), Kind: trace.TaskStarted, Task: id, Node: primary.Name(), Info: t.spec.Class,
+	})
+
+	sf := primary.Desc().SpeedFactor
+	if sf <= 0 {
+		sf = 1
+	}
+	run := time.Duration(float64(t.spec.Duration) / sf)
+	epoch := t.epoch
+	s.clock.After(plan.Time+run, func() { s.complete(id, run, epoch) })
+	return true
+}
+
+// complete finishes a running task. Stale events (from a placement that a
+// node failure cancelled) are identified by epoch and ignored.
+func (s *Sim) complete(id int64, ran time.Duration, epoch int) {
+	t := s.tasks[id]
+	if t.state != stateRunning || t.epoch != epoch {
+		return // killed by a failure before this event fired
+	}
+	cores := t.spec.Constraints.EffectiveCores()
+	for _, name := range t.nodes {
+		if n, ok := s.cfg.Pool.Get(name); ok {
+			n.Release(t.spec.Constraints)
+			s.acct.AddTask(name, n.Desc(), cores, ran)
+			s.result.BusyCoreSeconds += float64(cores) * ran.Seconds()
+			if s.cfg.Predictor != nil {
+				// Observe the speed-normalised (reference) duration.
+				base := time.Duration(float64(ran) * n.Desc().SpeedFactor)
+				s.cfg.Predictor.Observe(t.spec.Class, t.inBytes, base)
+			}
+		}
+	}
+	primary := t.nodes[0]
+
+	// Register outputs on the primary node (and the persistence tier).
+	for _, k := range t.writes {
+		s.mgr.Registry().AddReplica(k, primary)
+		if s.cfg.PersistNode != "" && s.cfg.PersistNode != primary {
+			s.mgr.Registry().AddReplica(k, s.cfg.PersistNode)
+			s.cfg.Tracer.Record(trace.Event{
+				At: s.clock.Now(), Kind: trace.DataPersisted, Task: id, Node: s.cfg.PersistNode,
+			})
+		}
+	}
+
+	s.cfg.Tracer.Record(trace.Event{
+		At: s.clock.Now(), Kind: trace.TaskCompleted, Task: id, Node: primary,
+	})
+	s.result.TasksCompleted++
+
+	first := !t.completed
+	t.completed = true
+	t.state = stateDone
+	t.nodes = nil
+
+	if first {
+		s.remaining--
+		for _, dep := range t.dependents {
+			dt := s.tasks[dep]
+			dt.waitCount--
+			if dt.waitCount == 0 && dt.state == statePending {
+				dt.state = stateReady
+				s.pushReady(dep)
+			}
+		}
+	} else {
+		s.result.TasksReExecuted++
+	}
+	// Wake tasks waiting on this re-execution (recovery).
+	for dep := range t.redeps {
+		dt := s.tasks[dep]
+		dt.waitCount--
+		if dt.waitCount == 0 && dt.state == statePending {
+			dt.state = stateReady
+			s.pushReady(dep)
+		}
+	}
+	t.redeps = make(map[int64]struct{})
+
+	s.trySchedule()
+}
+
+// failNode removes a node, kills its running tasks and triggers recovery.
+func (s *Sim) failNode(name string) {
+	if _, ok := s.cfg.Pool.Get(name); !ok {
+		return
+	}
+	s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.NodeFailed, Node: name})
+	_ = s.cfg.Pool.Remove(name)
+
+	// Data on the node is gone; note which versions lost their last copy.
+	s.mgr.Registry().DropNode(name)
+
+	// Kill running tasks that used the node.
+	for _, id := range s.order {
+		t := s.tasks[id]
+		if t.state != stateRunning {
+			continue
+		}
+		uses := false
+		for _, n := range t.nodes {
+			if n == name {
+				uses = true
+				break
+			}
+		}
+		if !uses {
+			continue
+		}
+		// Release reservations on surviving nodes.
+		for _, n := range t.nodes {
+			if n == name {
+				continue
+			}
+			if node, ok := s.cfg.Pool.Get(n); ok {
+				node.Release(t.spec.Constraints)
+			}
+		}
+		t.nodes = nil
+		t.state = statePending
+		t.waitCount = 0
+		s.result.TasksFailed++
+		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.TaskFailed, Task: id, Node: name})
+		s.resubmit(id)
+		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.TaskRecovered, Task: id})
+	}
+
+	// Data lost with the node may be needed by tasks not yet run; their
+	// producers will be resubmitted lazily when dependents check inputs.
+	// Eagerly check ready tasks: some inputs may have vanished.
+	for sig, q := range s.ready {
+		still := q[:0]
+		for _, id := range q {
+			t := s.tasks[id]
+			if missing := s.missingProducers(t); len(missing) > 0 {
+				t.state = statePending
+				t.waitCount = 0
+				s.readyN--
+				s.resubmit(id)
+				continue
+			}
+			still = append(still, id)
+		}
+		s.ready[sig] = still
+	}
+	s.trySchedule()
+}
+
+// missingProducers lists producers of t's inputs that have no replica left.
+func (s *Sim) missingProducers(t *simTask) []int64 {
+	var out []int64
+	for _, k := range t.reads {
+		if len(s.mgr.Registry().Where(k)) > 0 {
+			continue
+		}
+		if p, ok := s.producer[k]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// resubmit schedules a task for (re-)execution, recursively resubmitting
+// producers of any input versions that lost every replica (recompute
+// lineage — the no-persistence recovery path of E7).
+func (s *Sim) resubmit(id int64) {
+	t := s.tasks[id]
+	switch t.state {
+	case stateReady, stateRunning:
+		return
+	case statePending:
+		if t.waitCount > 0 {
+			return // already mid-resubmission (or waiting on live deps)
+		}
+	case stateDone:
+		t.state = statePending
+		t.waitCount = 0
+	}
+	waits := 0
+	for _, k := range t.reads {
+		if len(s.mgr.Registry().Where(k)) > 0 {
+			continue
+		}
+		p, ok := s.producer[k]
+		if !ok {
+			continue // external data lost for good; nothing to recompute
+		}
+		pt := s.tasks[p]
+		if _, dup := pt.redeps[id]; !dup {
+			pt.redeps[id] = struct{}{}
+			waits++
+		}
+		s.resubmit(p)
+	}
+	t.waitCount += waits
+	if t.waitCount == 0 {
+		t.state = stateReady
+		s.pushReady(id)
+	}
+}
+
+// elasticStep applies one elasticity evaluation.
+func (s *Sim) elasticStep() {
+	pending := s.readyN
+	switch s.cfg.Elastic.Evaluate(s.cfg.Pool, pending) {
+	case resources.Grow:
+		node, delay, err := s.cfg.Elastic.GrowOne(s.cfg.Pool)
+		if err != nil {
+			return
+		}
+		s.nodeAdded[node.Name()] = s.clock.Now()
+		if s.cfg.Pool.Len() > s.result.PeakNodes {
+			s.result.PeakNodes = s.cfg.Pool.Len()
+		}
+		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.NodeAdded, Node: node.Name()})
+		// Model the provisioning delay by blocking the whole node.
+		hold := resources.Constraints{
+			Cores:    node.Desc().Cores,
+			MemoryMB: node.Desc().MemoryMB,
+			GPUs:     node.Desc().GPUs,
+		}
+		if err := node.Reserve(hold); err == nil {
+			s.clock.After(delay, func() {
+				node.Release(hold)
+				s.trySchedule()
+			})
+		}
+	case resources.Shrink:
+		victim, err := s.cfg.Elastic.ShrinkOne(s.cfg.Pool)
+		if err != nil || victim == nil {
+			return
+		}
+		added := s.nodeAdded[victim.Name()]
+		span := s.clock.Now() - added
+		s.acct.SetSpan(victim.Name(), victim.Desc(), span)
+		s.result.NodeSeconds += span.Seconds()
+		delete(s.nodeAdded, victim.Name())
+		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.NodeRemoved, Node: victim.Name()})
+	case resources.Hold:
+	}
+}
+
+// Now exposes the simulation clock (useful in tests).
+func (s *Sim) Now() time.Duration { return s.clock.Now() }

@@ -1,0 +1,172 @@
+package lineage
+
+import (
+	"testing"
+	"time"
+)
+
+// chain builds src -> a -> b with the given sizes and compute costs.
+func chain(t *testing.T, sizes [3]int64, costs [3]time.Duration) *Graph {
+	t.Helper()
+	g := NewGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Add(Item{ID: 1, SizeBytes: sizes[0], ComputeCost: costs[0]}))
+	must(g.Add(Item{ID: 2, SizeBytes: sizes[1], ComputeCost: costs[1], Inputs: []ItemID{1}}))
+	must(g.Add(Item{ID: 3, SizeBytes: sizes[2], ComputeCost: costs[2], Inputs: []ItemID{2}}))
+	return g
+}
+
+func TestAddRejectsUnknownInput(t *testing.T) {
+	g := NewGraph()
+	if err := g.Add(Item{ID: 1, Inputs: []ItemID{99}}); err == nil {
+		t.Fatal("expected error for unknown input")
+	}
+}
+
+func TestAddRejectsDuplicate(t *testing.T) {
+	g := NewGraph()
+	if err := g.Add(Item{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(Item{ID: 1}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+}
+
+func TestRecomputeCostChain(t *testing.T) {
+	g := chain(t, [3]int64{0, 0, 0}, [3]time.Duration{time.Second, 2 * time.Second, 4 * time.Second})
+	m := CostModel{} // free storage I/O to isolate compute costs
+	// Nothing stored: item 3 = its own cost + item 2's cost; item 1 is a
+	// source (always available).
+	got := g.RecomputeCost(3, nil, m)
+	if got != 6*time.Second {
+		t.Fatalf("recompute(3) = %v, want 6s", got)
+	}
+	// Storing item 2 cuts the chain.
+	got = g.RecomputeCost(3, map[ItemID]bool{2: true}, m)
+	if got != 4*time.Second {
+		t.Fatalf("recompute(3 | stored 2) = %v, want 4s", got)
+	}
+}
+
+func TestStoreAndReadCost(t *testing.T) {
+	m := CostModel{StorageMBps: 100}
+	it := Item{SizeBytes: 100e6} // 1 s at 100 MB/s
+	if got := m.StoreCost(it); got != time.Second {
+		t.Fatalf("StoreCost = %v, want 1s", got)
+	}
+	if got := m.ReadCost(it); got != time.Second {
+		t.Fatalf("ReadCost = %v, want 1s (falls back to StorageMBps)", got)
+	}
+	m.ReadMBps = 200
+	if got := m.ReadCost(it); got != 500*time.Millisecond {
+		t.Fatalf("ReadCost = %v, want 0.5s", got)
+	}
+}
+
+func TestStoreAllVsRecomputeAll(t *testing.T) {
+	// Expensive compute, small data: storing must win.
+	g := chain(t, [3]int64{1e6, 1e6, 1e6},
+		[3]time.Duration{time.Second, 10 * time.Second, 10 * time.Second})
+	m := CostModel{StorageMBps: 1000}
+	accesses := []ItemID{3, 3, 3, 3}
+	store := g.Evaluate(StoreAll, accesses, 4, m)
+	recompute := g.Evaluate(RecomputeAll, accesses, 4, m)
+	if store.TotalTime >= recompute.TotalTime {
+		t.Fatalf("store-all %v should beat recompute-all %v for expensive compute",
+			store.TotalTime, recompute.TotalTime)
+	}
+
+	// Cheap compute, huge data, slow storage: recomputing must win.
+	g2 := chain(t, [3]int64{10e9, 10e9, 10e9},
+		[3]time.Duration{time.Millisecond, time.Millisecond, time.Millisecond})
+	m2 := CostModel{StorageMBps: 10}
+	store2 := g2.Evaluate(StoreAll, []ItemID{3}, 1, m2)
+	recompute2 := g2.Evaluate(RecomputeAll, []ItemID{3}, 1, m2)
+	if recompute2.TotalTime >= store2.TotalTime {
+		t.Fatalf("recompute-all %v should beat store-all %v for cheap compute",
+			recompute2.TotalTime, store2.TotalTime)
+	}
+}
+
+func TestAdaptiveNeverWorseThanBothExtremes(t *testing.T) {
+	cases := []struct {
+		name  string
+		sizes [3]int64
+		costs [3]time.Duration
+		mbps  float64
+		reuse int
+	}{
+		{"compute-heavy", [3]int64{1e6, 1e6, 1e6}, [3]time.Duration{time.Second, 10 * time.Second, 10 * time.Second}, 1000, 5},
+		{"data-heavy", [3]int64{10e9, 10e9, 10e9}, [3]time.Duration{time.Millisecond, time.Millisecond, time.Millisecond}, 10, 1},
+		{"mixed", [3]int64{1e9, 10e6, 5e9}, [3]time.Duration{time.Second, 20 * time.Second, 100 * time.Millisecond}, 100, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := chain(t, tc.sizes, tc.costs)
+			m := CostModel{StorageMBps: tc.mbps}
+			var accesses []ItemID
+			for i := 0; i < tc.reuse; i++ {
+				accesses = append(accesses, 3)
+			}
+			ad := g.Evaluate(Adaptive, accesses, float64(tc.reuse), m)
+			sa := g.Evaluate(StoreAll, accesses, float64(tc.reuse), m)
+			ra := g.Evaluate(RecomputeAll, accesses, float64(tc.reuse), m)
+			// Allow 1% slack for rounding.
+			limit := sa.TotalTime
+			if ra.TotalTime < limit {
+				limit = ra.TotalTime
+			}
+			if float64(ad.TotalTime) > 1.01*float64(limit) {
+				t.Fatalf("adaptive %v worse than best extreme %v (store %v recompute %v)",
+					ad.TotalTime, limit, sa.TotalTime, ra.TotalTime)
+			}
+		})
+	}
+}
+
+func TestSourcesAreNeverStored(t *testing.T) {
+	g := chain(t, [3]int64{1e6, 1e6, 1e6}, [3]time.Duration{time.Second, time.Second, time.Second})
+	res := g.Evaluate(StoreAll, nil, 1, CostModel{StorageMBps: 100})
+	for _, id := range res.Stored {
+		if g.IsSource(id) {
+			t.Fatalf("source %d was stored", id)
+		}
+	}
+	if len(res.Stored) != 2 {
+		t.Fatalf("stored = %v, want the 2 intermediates", res.Stored)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		StoreAll: "store-all", RecomputeAll: "recompute-all", Adaptive: "adaptive",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", int(p), p.String())
+		}
+	}
+}
+
+func TestDiamondLineage(t *testing.T) {
+	g := NewGraph()
+	for _, it := range []Item{
+		{ID: 1, SizeBytes: 1e6, ComputeCost: time.Second},
+		{ID: 2, SizeBytes: 1e6, ComputeCost: 2 * time.Second, Inputs: []ItemID{1}},
+		{ID: 3, SizeBytes: 1e6, ComputeCost: 3 * time.Second, Inputs: []ItemID{1}},
+		{ID: 4, SizeBytes: 1e6, ComputeCost: time.Second, Inputs: []ItemID{2, 3}},
+	} {
+		if err := g.Add(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nothing stored: 4 costs 1 + 2 + 3 = 6 s.
+	if got := g.RecomputeCost(4, nil, CostModel{}); got != 6*time.Second {
+		t.Fatalf("diamond recompute = %v, want 6s", got)
+	}
+}

@@ -1,0 +1,161 @@
+package mlpredict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEWMAFirstSampleExact(t *testing.T) {
+	e := NewEWMA(0.3)
+	e.Observe(10)
+	v, ok := e.Value()
+	if !ok || v != 10 {
+		t.Fatalf("Value = %v %v, want 10 true", v, ok)
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	e := NewEWMA(0.5)
+	for i := 0; i < 50; i++ {
+		e.Observe(42)
+	}
+	v, _ := e.Value()
+	if math.Abs(v-42) > 1e-9 {
+		t.Fatalf("EWMA of constant = %v, want 42", v)
+	}
+}
+
+func TestEWMATracksShift(t *testing.T) {
+	e := NewEWMA(0.5)
+	for i := 0; i < 10; i++ {
+		e.Observe(10)
+	}
+	for i := 0; i < 20; i++ {
+		e.Observe(100)
+	}
+	v, _ := e.Value()
+	if v < 95 {
+		t.Fatalf("EWMA did not track shift: %v", v)
+	}
+}
+
+func TestEWMABadAlphaFallsBack(t *testing.T) {
+	e := NewEWMA(-1)
+	e.Observe(5)
+	if v, ok := e.Value(); !ok || v != 5 {
+		t.Fatal("EWMA with bad alpha unusable")
+	}
+}
+
+func TestLinRegRecoversLine(t *testing.T) {
+	l := &LinReg{}
+	for x := 1.0; x <= 20; x++ {
+		l.Observe(x, 3+2*x)
+	}
+	a, b := l.Coeffs()
+	if math.Abs(a-3) > 1e-6 || math.Abs(b-2) > 1e-6 {
+		t.Fatalf("coeffs = %v %v, want 3 2", a, b)
+	}
+	if y := l.Predict(100); math.Abs(y-203) > 1e-6 {
+		t.Fatalf("Predict(100) = %v, want 203", y)
+	}
+}
+
+func TestLinRegDegenerate(t *testing.T) {
+	l := &LinReg{}
+	l.Observe(5, 10)
+	l.Observe(5, 20) // zero x-variance
+	a, b := l.Coeffs()
+	if b != 0 || math.Abs(a-15) > 1e-9 {
+		t.Fatalf("degenerate coeffs = %v %v, want mean 15 slope 0", a, b)
+	}
+}
+
+func TestPredictorDefaultsForUnseenClass(t *testing.T) {
+	p := NewPredictor(7 * time.Second)
+	if got := p.Predict("mystery", 0); got != 7*time.Second {
+		t.Fatalf("Predict = %v, want default 7s", got)
+	}
+}
+
+func TestPredictorLearnsClassMean(t *testing.T) {
+	p := NewPredictor(time.Second)
+	for i := 0; i < 20; i++ {
+		p.Observe("filter", 0, 5*time.Second)
+	}
+	got := p.Predict("filter", 0)
+	if math.Abs(got.Seconds()-5) > 0.01 {
+		t.Fatalf("Predict = %v, want ~5s", got)
+	}
+	if !p.Trained("filter", 10) || p.Trained("filter", 100) {
+		t.Fatal("Trained threshold wrong")
+	}
+}
+
+func TestPredictorUsesSizeRegression(t *testing.T) {
+	p := NewPredictor(time.Second)
+	// Duration proportional to size: 1 s per MB.
+	for mb := 1; mb <= 10; mb++ {
+		p.Observe("scale", int64(mb)*1e6, time.Duration(mb)*time.Second)
+	}
+	got := p.Predict("scale", 50e6)
+	if math.Abs(got.Seconds()-50) > 1 {
+		t.Fatalf("Predict(50MB) = %v, want ~50s", got)
+	}
+}
+
+func TestPredictorIgnoresNegativeRegression(t *testing.T) {
+	p := NewPredictor(time.Second)
+	// Steeply decreasing: extrapolation goes negative; must fall back.
+	p.Observe("odd", 1e6, 10*time.Second)
+	p.Observe("odd", 2e6, 5*time.Second)
+	p.Observe("odd", 3e6, 1*time.Second)
+	got := p.Predict("odd", 100e6)
+	if got <= 0 {
+		t.Fatalf("Predict returned non-positive duration %v", got)
+	}
+}
+
+// Property: LinReg exactly interpolates any two distinct points.
+func TestLinRegTwoPointInterpolation(t *testing.T) {
+	f := func(x1f, y1f, x2f, y2f int16) bool {
+		x1, y1 := float64(x1f), float64(y1f)
+		x2, y2 := float64(x2f), float64(y2f)
+		if x1 == x2 {
+			return true
+		}
+		l := &LinReg{}
+		l.Observe(x1, y1)
+		l.Observe(x2, y2)
+		return math.Abs(l.Predict(x1)-y1) < 1e-6 && math.Abs(l.Predict(x2)-y2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EWMA stays within [min, max] of observed samples.
+func TestEWMABounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEWMA(0.4)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 50; i++ {
+			v := rng.Float64() * 1000
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			e.Observe(v)
+			got, _ := e.Value()
+			if got < lo-1e-9 || got > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,348 @@
+// Package mpisim is a message-passing substrate in the style of MPI,
+// sufficient to implement the paper's multi-node parallel tasks ("Parallel
+// task, programmed with a distributed memory paradigm (MPI) that runs on
+// multiple nodes", Sec. VI-A — the NMMB-Monarch simulation stage is an MPI
+// Fortran application).
+//
+// Ranks are goroutines; point-to-point channels provide ordered, typed
+// message delivery. Collectives (barrier, broadcast, reduce, allreduce,
+// scatter, gather) are built on point-to-point sends, like a real MPI
+// implementation's naive algorithms.
+package mpisim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInvalidRank is returned for out-of-range rank arguments.
+var ErrInvalidRank = errors.New("mpisim: invalid rank")
+
+// message is one point-to-point payload.
+type message struct {
+	value any
+}
+
+// Comm is a communicator connecting size ranks. Channels are buffered so a
+// send to a rank that has not posted its receive yet does not deadlock
+// (eager protocol, like small-message MPI).
+type Comm struct {
+	size  int
+	chans [][]chan message // chans[src][dst]
+}
+
+// NewComm creates a communicator for size ranks.
+func NewComm(size int) (*Comm, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpisim: communicator size %d", size)
+	}
+	chans := make([][]chan message, size)
+	for i := range chans {
+		chans[i] = make([]chan message, size)
+		for j := range chans[i] {
+			chans[i][j] = make(chan message, 64)
+		}
+	}
+	return &Comm{size: size, chans: chans}, nil
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Rank is one process's endpoint into the communicator.
+type Rank struct {
+	comm *Comm
+	id   int
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.comm.size }
+
+// Send delivers v to rank dst (blocking only if the channel buffer is
+// full).
+func (r *Rank) Send(dst int, v any) error {
+	if dst < 0 || dst >= r.comm.size {
+		return fmt.Errorf("%w: send to %d of %d", ErrInvalidRank, dst, r.comm.size)
+	}
+	r.comm.chans[r.id][dst] <- message{value: v}
+	return nil
+}
+
+// Recv blocks until a message from rank src arrives and returns its value.
+func (r *Rank) Recv(src int) (any, error) {
+	if src < 0 || src >= r.comm.size {
+		return nil, fmt.Errorf("%w: recv from %d of %d", ErrInvalidRank, src, r.comm.size)
+	}
+	m := <-r.comm.chans[src][r.id]
+	return m.value, nil
+}
+
+// SendRecv exchanges values with a partner rank (deadlock-free thanks to
+// buffered channels).
+func (r *Rank) SendRecv(partner int, v any) (any, error) {
+	if err := r.Send(partner, v); err != nil {
+		return nil, err
+	}
+	return r.Recv(partner)
+}
+
+// Barrier blocks until every rank reaches it (dissemination via rank 0).
+func (r *Rank) Barrier() error {
+	// All ranks signal 0; rank 0 then releases everyone.
+	if r.id == 0 {
+		for src := 1; src < r.comm.size; src++ {
+			if _, err := r.Recv(src); err != nil {
+				return err
+			}
+		}
+		for dst := 1; dst < r.comm.size; dst++ {
+			if err := r.Send(dst, struct{}{}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := r.Send(0, struct{}{}); err != nil {
+		return err
+	}
+	_, err := r.Recv(0)
+	return err
+}
+
+// Bcast distributes root's value to every rank and returns it.
+func (r *Rank) Bcast(root int, v any) (any, error) {
+	if root < 0 || root >= r.comm.size {
+		return nil, fmt.Errorf("%w: bcast root %d", ErrInvalidRank, root)
+	}
+	if r.id == root {
+		for dst := 0; dst < r.comm.size; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := r.Send(dst, v); err != nil {
+				return nil, err
+			}
+		}
+		return v, nil
+	}
+	return r.Recv(root)
+}
+
+// Op is a reduction operator over float64.
+type Op func(a, b float64) float64
+
+// Built-in reduction operators.
+var (
+	// Sum adds.
+	Sum Op = func(a, b float64) float64 { return a + b }
+	// Max keeps the maximum.
+	Max Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	// Min keeps the minimum.
+	Min Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce combines every rank's value at root with op; non-root ranks get 0.
+func (r *Rank) Reduce(root int, op Op, v float64) (float64, error) {
+	if root < 0 || root >= r.comm.size {
+		return 0, fmt.Errorf("%w: reduce root %d", ErrInvalidRank, root)
+	}
+	if r.id == root {
+		acc := v
+		for src := 0; src < r.comm.size; src++ {
+			if src == root {
+				continue
+			}
+			m, err := r.Recv(src)
+			if err != nil {
+				return 0, err
+			}
+			f, ok := m.(float64)
+			if !ok {
+				return 0, fmt.Errorf("mpisim: reduce received %T, want float64", m)
+			}
+			acc = op(acc, f)
+		}
+		return acc, nil
+	}
+	if err := r.Send(root, v); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// AllReduce combines every rank's value with op and returns the result on
+// every rank.
+func (r *Rank) AllReduce(op Op, v float64) (float64, error) {
+	acc, err := r.Reduce(0, op, v)
+	if err != nil {
+		return 0, err
+	}
+	out, err := r.Bcast(0, acc)
+	if err != nil {
+		return 0, err
+	}
+	f, ok := out.(float64)
+	if !ok {
+		return 0, fmt.Errorf("mpisim: allreduce received %T", out)
+	}
+	return f, nil
+}
+
+// Scatter splits root's slice into equal chunks, sending chunk i to rank i,
+// and returns this rank's chunk. len(data) must be a multiple of Size on
+// root; other ranks pass nil.
+func (r *Rank) Scatter(root int, data []float64) ([]float64, error) {
+	if r.id == root {
+		if len(data)%r.comm.size != 0 {
+			return nil, fmt.Errorf("mpisim: scatter of %d elements across %d ranks", len(data), r.comm.size)
+		}
+		chunk := len(data) / r.comm.size
+		for dst := 0; dst < r.comm.size; dst++ {
+			if dst == root {
+				continue
+			}
+			part := make([]float64, chunk)
+			copy(part, data[dst*chunk:(dst+1)*chunk])
+			if err := r.Send(dst, part); err != nil {
+				return nil, err
+			}
+		}
+		own := make([]float64, chunk)
+		copy(own, data[root*chunk:(root+1)*chunk])
+		return own, nil
+	}
+	m, err := r.Recv(root)
+	if err != nil {
+		return nil, err
+	}
+	part, ok := m.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("mpisim: scatter received %T", m)
+	}
+	return part, nil
+}
+
+// Gather collects every rank's chunk at root in rank order; non-root ranks
+// get nil.
+func (r *Rank) Gather(root int, chunk []float64) ([]float64, error) {
+	if r.id == root {
+		parts := make([][]float64, r.comm.size)
+		parts[root] = chunk
+		for src := 0; src < r.comm.size; src++ {
+			if src == root {
+				continue
+			}
+			m, err := r.Recv(src)
+			if err != nil {
+				return nil, err
+			}
+			p, ok := m.([]float64)
+			if !ok {
+				return nil, fmt.Errorf("mpisim: gather received %T", m)
+			}
+			parts[src] = p
+		}
+		var out []float64
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out, nil
+	}
+	if err := r.Send(root, chunk); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// AllGather collects every rank's chunk on every rank, in rank order.
+func (r *Rank) AllGather(chunk []float64) ([]float64, error) {
+	gathered, err := r.Gather(0, chunk)
+	if err != nil {
+		return nil, err
+	}
+	out, err := r.Bcast(0, gathered)
+	if err != nil {
+		return nil, err
+	}
+	all, ok := out.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("mpisim: allgather received %T", out)
+	}
+	return all, nil
+}
+
+// AllToAll exchanges personalised chunks: rank i sends chunks[j] to rank j
+// and returns the chunks received, indexed by source rank. len(chunks)
+// must equal Size.
+func (r *Rank) AllToAll(chunks [][]float64) ([][]float64, error) {
+	if len(chunks) != r.comm.size {
+		return nil, fmt.Errorf("mpisim: alltoall with %d chunks for %d ranks", len(chunks), r.comm.size)
+	}
+	for dst := 0; dst < r.comm.size; dst++ {
+		if dst == r.id {
+			continue
+		}
+		cp := make([]float64, len(chunks[dst]))
+		copy(cp, chunks[dst])
+		if err := r.Send(dst, cp); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]float64, r.comm.size)
+	out[r.id] = append([]float64(nil), chunks[r.id]...)
+	for src := 0; src < r.comm.size; src++ {
+		if src == r.id {
+			continue
+		}
+		m, err := r.Recv(src)
+		if err != nil {
+			return nil, err
+		}
+		part, ok := m.([]float64)
+		if !ok {
+			return nil, fmt.Errorf("mpisim: alltoall received %T", m)
+		}
+		out[src] = part
+	}
+	return out, nil
+}
+
+// Run launches fn on size ranks and waits for all to finish. It returns
+// the first error (by rank order) if any rank fails.
+func Run(size int, fn func(r *Rank) error) error {
+	comm, err := NewComm(size)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = fn(&Rank{comm: comm, id: i})
+		}()
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

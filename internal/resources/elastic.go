@@ -1,0 +1,217 @@
+package resources
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Provider acquires and releases nodes on demand: the paper's "different
+// connectors, each bridging to each provider API" (Sec. VI-A). Providers
+// must be safe for concurrent use.
+type Provider interface {
+	// Name identifies the provider ("aws-sim", "slurm-sim", …).
+	Name() string
+	// Acquire provisions one node of the provider's flavour. The
+	// returned delay is the provisioning time (VM boot, SLURM queue
+	// wait) that the caller must account for before the node is usable.
+	Acquire() (node *Node, delay time.Duration, err error)
+	// Release decommissions a node previously acquired.
+	Release(node *Node) error
+}
+
+// SimProvider is an in-memory cloud/SLURM connector with a capacity limit
+// and a fixed provisioning delay. It satisfies Provider.
+type SimProvider struct {
+	name  string
+	desc  Description
+	delay time.Duration
+	limit int
+
+	mu      sync.Mutex
+	serial  int
+	granted int
+}
+
+var _ Provider = (*SimProvider)(nil)
+
+// NewSimProvider returns a provider that hands out nodes with the given
+// description, up to limit concurrently, after the given provisioning delay.
+func NewSimProvider(name string, desc Description, limit int, delay time.Duration) *SimProvider {
+	return &SimProvider{name: name, desc: desc, delay: delay, limit: limit}
+}
+
+// Name implements Provider.
+func (s *SimProvider) Name() string { return s.name }
+
+// Acquire implements Provider.
+func (s *SimProvider) Acquire() (*Node, time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.granted >= s.limit {
+		return nil, 0, fmt.Errorf("provider %s: %w (limit %d)", s.name, ErrInsufficient, s.limit)
+	}
+	s.granted++
+	s.serial++
+	name := fmt.Sprintf("%s-%d", s.name, s.serial)
+	return NewNode(name, s.desc), s.delay, nil
+}
+
+// Release implements Provider.
+func (s *SimProvider) Release(*Node) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.granted > 0 {
+		s.granted--
+	}
+	return nil
+}
+
+// Granted reports how many nodes are currently provisioned.
+func (s *SimProvider) Granted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.granted
+}
+
+// ScalePolicy tunes the elasticity decision.
+type ScalePolicy struct {
+	// MinNodes and MaxNodes bound the elastic part of the pool.
+	MinNodes, MaxNodes int
+	// TasksPerCore is the pending-work threshold that triggers growth:
+	// grow while pending tasks > TasksPerCore × current cores.
+	TasksPerCore float64
+	// IdleCoresToShrink triggers shrink when free cores exceed it and
+	// nothing is pending.
+	IdleCoresToShrink int
+}
+
+// DefaultScalePolicy grows at 2 pending tasks per core and shrinks when a
+// whole node's worth of cores sits idle.
+func DefaultScalePolicy() ScalePolicy {
+	return ScalePolicy{MinNodes: 0, MaxNodes: 16, TasksPerCore: 2, IdleCoresToShrink: 8}
+}
+
+// ScaleDecision is the outcome of an elasticity evaluation.
+type ScaleDecision int
+
+// Elasticity outcomes.
+const (
+	// Hold keeps the pool as is.
+	Hold ScaleDecision = iota + 1
+	// Grow acquires one more node.
+	Grow
+	// Shrink releases one idle node.
+	Shrink
+)
+
+// String returns the decision name.
+func (d ScaleDecision) String() string {
+	switch d {
+	case Hold:
+		return "hold"
+	case Grow:
+		return "grow"
+	case Shrink:
+		return "shrink"
+	default:
+		return fmt.Sprintf("ScaleDecision(%d)", int(d))
+	}
+}
+
+// ElasticManager implements COMPSs-style elasticity: it watches load and
+// acquires/releases nodes through a Provider. Decisions are pure
+// (Evaluate); application is explicit (GrowOne / ShrinkOne) so both the
+// simulator (virtual time) and the live runtime (wall time) can drive it.
+type ElasticManager struct {
+	provider Provider
+	policy   ScalePolicy
+
+	mu      sync.Mutex
+	elastic map[string]*Node // nodes this manager acquired
+}
+
+// NewElasticManager returns a manager bound to one provider.
+func NewElasticManager(p Provider, policy ScalePolicy) *ElasticManager {
+	return &ElasticManager{
+		provider: p,
+		policy:   policy,
+		elastic:  make(map[string]*Node),
+	}
+}
+
+// ElasticCount reports the nodes currently acquired by this manager.
+func (m *ElasticManager) ElasticCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.elastic)
+}
+
+// Evaluate decides whether the pool should grow, shrink or hold, given the
+// number of pending (unscheduled) tasks.
+func (m *ElasticManager) Evaluate(pool *Pool, pendingTasks int) ScaleDecision {
+	m.mu.Lock()
+	n := len(m.elastic)
+	m.mu.Unlock()
+
+	cores := pool.TotalCores()
+	if cores == 0 {
+		if pendingTasks > 0 && n < m.policy.MaxNodes {
+			return Grow
+		}
+		return Hold
+	}
+	if float64(pendingTasks) > m.policy.TasksPerCore*float64(cores) && n < m.policy.MaxNodes {
+		return Grow
+	}
+	if pendingTasks == 0 && n > m.policy.MinNodes && pool.FreeCores() > m.policy.IdleCoresToShrink {
+		return Shrink
+	}
+	return Hold
+}
+
+// GrowOne acquires a node from the provider and adds it to the pool. It
+// returns the node and the provisioning delay to account for.
+func (m *ElasticManager) GrowOne(pool *Pool) (*Node, time.Duration, error) {
+	node, delay, err := m.provider.Acquire()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := pool.Add(node); err != nil {
+		_ = m.provider.Release(node)
+		return nil, 0, err
+	}
+	m.mu.Lock()
+	m.elastic[node.Name()] = node
+	m.mu.Unlock()
+	return node, delay, nil
+}
+
+// ShrinkOne removes one fully idle elastic node from the pool and releases
+// it to the provider. It returns the removed node, or nil if no elastic
+// node is idle.
+func (m *ElasticManager) ShrinkOne(pool *Pool) (*Node, error) {
+	m.mu.Lock()
+	var victim *Node
+	for _, n := range m.elastic {
+		if n.Running() == 0 {
+			if victim == nil || n.Name() < victim.Name() {
+				victim = n // deterministic choice
+			}
+		}
+	}
+	if victim != nil {
+		delete(m.elastic, victim.Name())
+	}
+	m.mu.Unlock()
+	if victim == nil {
+		return nil, nil
+	}
+	if err := pool.Remove(victim.Name()); err != nil {
+		return nil, err
+	}
+	if err := m.provider.Release(victim); err != nil {
+		return victim, err
+	}
+	return victim, nil
+}

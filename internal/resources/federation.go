@@ -1,0 +1,86 @@
+package resources
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Federation aggregates several providers — the paper's "clouds and
+// federated clouds" (Sec. VI-A). Acquire picks the cheapest provider with
+// capacity; Release routes the node back to the provider that produced it.
+type Federation struct {
+	name string
+
+	mu      sync.Mutex
+	members []federated
+	owner   map[string]Provider // node name -> producing provider
+}
+
+type federated struct {
+	provider Provider
+	costPerH float64
+}
+
+var _ Provider = (*Federation)(nil)
+
+// ErrNoProvider is returned when every member is at capacity.
+var ErrNoProvider = errors.New("resources: no federated provider has capacity")
+
+// NewFederation creates an empty federation.
+func NewFederation(name string) *Federation {
+	return &Federation{name: name, owner: make(map[string]Provider)}
+}
+
+// AddProvider registers a member with its cost per node-hour.
+func (f *Federation) AddProvider(p Provider, costPerHour float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.members = append(f.members, federated{provider: p, costPerH: costPerHour})
+}
+
+// Name implements Provider.
+func (f *Federation) Name() string { return f.name }
+
+// Acquire implements Provider: members are tried cheapest-first.
+func (f *Federation) Acquire() (*Node, time.Duration, error) {
+	f.mu.Lock()
+	members := append([]federated(nil), f.members...)
+	f.mu.Unlock()
+	// Stable selection sort by cost (few members; clarity over speed).
+	for i := 0; i < len(members); i++ {
+		best := i
+		for j := i + 1; j < len(members); j++ {
+			if members[j].costPerH < members[best].costPerH {
+				best = j
+			}
+		}
+		members[i], members[best] = members[best], members[i]
+	}
+	var lastErr error = ErrNoProvider
+	for _, m := range members {
+		node, delay, err := m.provider.Acquire()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		f.mu.Lock()
+		f.owner[node.Name()] = m.provider
+		f.mu.Unlock()
+		return node, delay, nil
+	}
+	return nil, 0, fmt.Errorf("federation %s: %w", f.name, lastErr)
+}
+
+// Release implements Provider.
+func (f *Federation) Release(node *Node) error {
+	f.mu.Lock()
+	p, ok := f.owner[node.Name()]
+	delete(f.owner, node.Name())
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("federation %s: %w: %s", f.name, ErrUnknownNode, node.Name())
+	}
+	return p.Release(node)
+}

@@ -1,0 +1,411 @@
+// Package resources models the heterogeneous computing resources of an
+// advanced cyberinfrastructure platform (paper Sec. III): HPC nodes, cloud
+// VMs, fog devices and edge sensors, each described by cores, memory,
+// accelerators and installed software.
+//
+// It implements the two features the paper singles out:
+//
+//   - resource *constraints* on task types ("a specific type of processor,
+//     such as a GPU, … a number of cores, memory available for the task or
+//     the existence of a specific software", Sec. VI-A), matched dynamically
+//     at scheduling time so variable memory constraints work (E2);
+//   - *elasticity* "in clouds, federated clouds and in SLURM managed
+//     clusters" (Sec. VI-A) through pluggable providers and a scaling policy.
+package resources
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Class categorises a node within the computing continuum.
+type Class int
+
+// Continuum tiers, from the paper's Fig. 5 plus the HPC systems of Sec. III.
+const (
+	// HPC is a supercomputer node (MareNostrum-class).
+	HPC Class = iota + 1
+	// Cloud is a public/private cloud VM.
+	Cloud
+	// Fog is a capable edge aggregator (smartphone, gateway).
+	Fog
+	// Edge is a sensor/instrument-class device.
+	Edge
+)
+
+// String returns the tier name.
+func (c Class) String() string {
+	switch c {
+	case HPC:
+		return "hpc"
+	case Cloud:
+		return "cloud"
+	case Fog:
+		return "fog"
+	case Edge:
+		return "edge"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Description is the static capability sheet of a node.
+type Description struct {
+	// Cores is the number of CPU cores.
+	Cores int
+	// MemoryMB is the RAM available to tasks, in megabytes.
+	MemoryMB int64
+	// GPUs is the number of accelerator devices.
+	GPUs int
+	// Software lists installed packages task constraints can require.
+	Software []string
+	// Class is the continuum tier.
+	Class Class
+	// SpeedFactor scales task durations: a task of base duration d runs
+	// in d / SpeedFactor. 1.0 is the reference (HPC core); fog and edge
+	// devices are typically < 1.
+	SpeedFactor float64
+	// IdleWatts and ActiveWattsPerCore feed the energy model.
+	IdleWatts          float64
+	ActiveWattsPerCore float64
+}
+
+// Constraints restrict where a task may run, mirroring the COMPSs
+// @constraint annotation. Zero values mean "no requirement".
+type Constraints struct {
+	// Cores this task occupies while running (0 ⇒ 1).
+	Cores int
+	// MemoryMB the task needs reserved.
+	MemoryMB int64
+	// GPUs the task needs reserved.
+	GPUs int
+	// Software names that must be installed on the node.
+	Software []string
+	// Class restricts to one continuum tier (0 ⇒ any).
+	Class Class
+	// Nodes > 1 marks a multi-node (MPI) task; each node contributes
+	// Cores cores.
+	Nodes int
+}
+
+// EffectiveCores returns Cores, defaulting to 1.
+func (c Constraints) EffectiveCores() int {
+	if c.Cores <= 0 {
+		return 1
+	}
+	return c.Cores
+}
+
+// EffectiveNodes returns Nodes, defaulting to 1.
+func (c Constraints) EffectiveNodes() int {
+	if c.Nodes <= 0 {
+		return 1
+	}
+	return c.Nodes
+}
+
+// Satisfies reports whether a node with this description can ever run a
+// task with the given constraints (capacity check, ignoring current load).
+func (d Description) Satisfies(c Constraints) bool {
+	if c.EffectiveCores() > d.Cores {
+		return false
+	}
+	if c.MemoryMB > d.MemoryMB {
+		return false
+	}
+	if c.GPUs > d.GPUs {
+		return false
+	}
+	if c.Class != 0 && c.Class != d.Class {
+		return false
+	}
+	for _, sw := range c.Software {
+		found := false
+		for _, have := range d.Software {
+			if have == sw {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Profiles for common node types. SpeedFactor and power numbers are
+// representative, not measured; experiments only rely on their ordering.
+var (
+	// MareNostrumNode mirrors the 48-core nodes of the paper's GUIDANCE
+	// runs (Sec. VI-A: "100 nodes of the Marenostrum supercomputer
+	// (4800 cores)").
+	MareNostrumNode = Description{
+		Cores: 48, MemoryMB: 96_000, Class: HPC, SpeedFactor: 1.0,
+		IdleWatts: 150, ActiveWattsPerCore: 6,
+	}
+	// CloudVM is a general-purpose 8-core VM.
+	CloudVM = Description{
+		Cores: 8, MemoryMB: 32_000, Class: Cloud, SpeedFactor: 0.8,
+		IdleWatts: 40, ActiveWattsPerCore: 8,
+	}
+	// FogDevice is a smartphone/gateway-class device (paper Sec. VI-B).
+	FogDevice = Description{
+		Cores: 4, MemoryMB: 6_000, Class: Fog, SpeedFactor: 0.25,
+		IdleWatts: 2, ActiveWattsPerCore: 1.0,
+	}
+	// EdgeSensor can run tiny filtering tasks only.
+	EdgeSensor = Description{
+		Cores: 1, MemoryMB: 512, Class: Edge, SpeedFactor: 0.05,
+		IdleWatts: 0.5, ActiveWattsPerCore: 0.7,
+	}
+)
+
+// Errors returned by reservation and pool operations.
+var (
+	ErrInsufficient = errors.New("resources: insufficient free capacity")
+	ErrUnknownNode  = errors.New("resources: unknown node")
+	ErrNodeExists   = errors.New("resources: node already in pool")
+)
+
+// Node is a stateful compute node: a static description plus current free
+// capacity. Node is safe for concurrent use.
+type Node struct {
+	name string
+	desc Description
+
+	mu        sync.Mutex
+	freeCores int
+	freeMemMB int64
+	freeGPUs  int
+	running   int
+}
+
+// NewNode creates a node with all capacity free.
+func NewNode(name string, desc Description) *Node {
+	if desc.SpeedFactor <= 0 {
+		desc.SpeedFactor = 1.0
+	}
+	return &Node{
+		name:      name,
+		desc:      desc,
+		freeCores: desc.Cores,
+		freeMemMB: desc.MemoryMB,
+		freeGPUs:  desc.GPUs,
+	}
+}
+
+// Name returns the node's unique name.
+func (n *Node) Name() string { return n.name }
+
+// Desc returns the static description.
+func (n *Node) Desc() Description { return n.desc }
+
+// FreeCores returns currently unreserved cores.
+func (n *Node) FreeCores() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.freeCores
+}
+
+// FreeMemoryMB returns currently unreserved memory.
+func (n *Node) FreeMemoryMB() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.freeMemMB
+}
+
+// Running returns the number of reservations currently held.
+func (n *Node) Running() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.running
+}
+
+// CanReserve reports whether the node currently has free capacity for c
+// (and statically satisfies it).
+func (n *Node) CanReserve(c Constraints) bool {
+	if !n.desc.Satisfies(c) {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.fits(c)
+}
+
+func (n *Node) fits(c Constraints) bool {
+	return c.EffectiveCores() <= n.freeCores &&
+		c.MemoryMB <= n.freeMemMB &&
+		c.GPUs <= n.freeGPUs
+}
+
+// Reserve atomically claims the capacity demanded by c, or returns
+// ErrInsufficient without side effects.
+func (n *Node) Reserve(c Constraints) error {
+	if !n.desc.Satisfies(c) {
+		return fmt.Errorf("%w: %s cannot satisfy %+v", ErrInsufficient, n.name, c)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.fits(c) {
+		return ErrInsufficient
+	}
+	n.freeCores -= c.EffectiveCores()
+	n.freeMemMB -= c.MemoryMB
+	n.freeGPUs -= c.GPUs
+	n.running++
+	return nil
+}
+
+// Release returns previously reserved capacity. Releasing more than was
+// reserved clamps to full capacity (and indicates a caller bug, but must
+// not corrupt accounting).
+func (n *Node) Release(c Constraints) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.freeCores += c.EffectiveCores()
+	if n.freeCores > n.desc.Cores {
+		n.freeCores = n.desc.Cores
+	}
+	n.freeMemMB += c.MemoryMB
+	if n.freeMemMB > n.desc.MemoryMB {
+		n.freeMemMB = n.desc.MemoryMB
+	}
+	n.freeGPUs += c.GPUs
+	if n.freeGPUs > n.desc.GPUs {
+		n.freeGPUs = n.desc.GPUs
+	}
+	if n.running > 0 {
+		n.running--
+	}
+}
+
+// BusyCores returns the number of reserved cores.
+func (n *Node) BusyCores() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.desc.Cores - n.freeCores
+}
+
+// Pool is a named collection of nodes; the runtime's view of the available
+// infrastructure. The set can change at execution time ("the list of
+// resources available to the runtime can be configured at execution time",
+// paper Sec. VI-B). Pool is safe for concurrent use.
+type Pool struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+	order []string // insertion order for deterministic iteration
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{nodes: make(map[string]*Node)}
+}
+
+// Add inserts a node; the name must be unique.
+func (p *Pool) Add(n *Node) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.nodes[n.Name()]; dup {
+		return fmt.Errorf("%w: %s", ErrNodeExists, n.Name())
+	}
+	p.nodes[n.Name()] = n
+	p.order = append(p.order, n.Name())
+	return nil
+}
+
+// Remove deletes a node by name.
+func (p *Pool) Remove(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.nodes[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	delete(p.nodes, name)
+	for i, n := range p.order {
+		if n == name {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Get returns a node by name.
+func (p *Pool) Get(name string) (*Node, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n, ok := p.nodes[name]
+	return n, ok
+}
+
+// Nodes returns the nodes in insertion order.
+func (p *Pool) Nodes() []*Node {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*Node, 0, len(p.order))
+	for _, name := range p.order {
+		out = append(out, p.nodes[name])
+	}
+	return out
+}
+
+// Len returns the number of nodes.
+func (p *Pool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.nodes)
+}
+
+// Fitting returns the nodes that currently have free capacity for c, in
+// insertion order.
+func (p *Pool) Fitting(c Constraints) []*Node {
+	var out []*Node
+	for _, n := range p.Nodes() {
+		if n.CanReserve(c) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Capable returns the nodes that could ever run c (ignoring load).
+func (p *Pool) Capable(c Constraints) []*Node {
+	var out []*Node
+	for _, n := range p.Nodes() {
+		if n.Desc().Satisfies(c) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TotalCores sums cores across the pool.
+func (p *Pool) TotalCores() int {
+	total := 0
+	for _, n := range p.Nodes() {
+		total += n.Desc().Cores
+	}
+	return total
+}
+
+// FreeCores sums free cores across the pool.
+func (p *Pool) FreeCores() int {
+	total := 0
+	for _, n := range p.Nodes() {
+		total += n.FreeCores()
+	}
+	return total
+}
+
+// Names returns node names sorted lexicographically.
+func (p *Pool) Names() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, len(p.order))
+	copy(out, p.order)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,360 @@
+package resources
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDescriptionSatisfies(t *testing.T) {
+	d := Description{Cores: 8, MemoryMB: 16000, GPUs: 1, Software: []string{"blas", "mpi"}, Class: HPC}
+	cases := []struct {
+		name string
+		c    Constraints
+		want bool
+	}{
+		{"empty", Constraints{}, true},
+		{"cores ok", Constraints{Cores: 8}, true},
+		{"too many cores", Constraints{Cores: 9}, false},
+		{"memory ok", Constraints{MemoryMB: 16000}, true},
+		{"too much memory", Constraints{MemoryMB: 16001}, false},
+		{"gpu ok", Constraints{GPUs: 1}, true},
+		{"too many gpus", Constraints{GPUs: 2}, false},
+		{"software present", Constraints{Software: []string{"mpi"}}, true},
+		{"software missing", Constraints{Software: []string{"cuda"}}, false},
+		{"class match", Constraints{Class: HPC}, true},
+		{"class mismatch", Constraints{Class: Fog}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := d.Satisfies(tc.c); got != tc.want {
+				t.Fatalf("Satisfies(%+v) = %v, want %v", tc.c, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEffectiveDefaults(t *testing.T) {
+	var c Constraints
+	if c.EffectiveCores() != 1 || c.EffectiveNodes() != 1 {
+		t.Fatal("zero constraints should default to 1 core, 1 node")
+	}
+}
+
+func TestReserveRelease(t *testing.T) {
+	n := NewNode("n1", Description{Cores: 4, MemoryMB: 1000, Class: Cloud})
+	c := Constraints{Cores: 3, MemoryMB: 600}
+	if err := n.Reserve(c); err != nil {
+		t.Fatal(err)
+	}
+	if n.FreeCores() != 1 || n.FreeMemoryMB() != 400 {
+		t.Fatalf("after reserve: cores=%d mem=%d", n.FreeCores(), n.FreeMemoryMB())
+	}
+	// Second reservation must fail on memory.
+	if err := n.Reserve(Constraints{MemoryMB: 500}); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("over-reserve err = %v, want ErrInsufficient", err)
+	}
+	n.Release(c)
+	if n.FreeCores() != 4 || n.FreeMemoryMB() != 1000 || n.Running() != 0 {
+		t.Fatal("release did not restore capacity")
+	}
+}
+
+func TestReleaseClampsToCapacity(t *testing.T) {
+	n := NewNode("n1", Description{Cores: 2, MemoryMB: 100})
+	n.Release(Constraints{Cores: 10, MemoryMB: 1000})
+	if n.FreeCores() != 2 || n.FreeMemoryMB() != 100 {
+		t.Fatal("release exceeded capacity")
+	}
+}
+
+func TestConcurrentReservationsNeverOversubscribe(t *testing.T) {
+	n := NewNode("n1", Description{Cores: 10, MemoryMB: 10000})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	granted := 0
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if n.Reserve(Constraints{Cores: 1, MemoryMB: 1000}) == nil {
+				mu.Lock()
+				granted++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if granted != 10 {
+		t.Fatalf("granted %d reservations on a 10-slot node", granted)
+	}
+}
+
+func TestPoolAddRemove(t *testing.T) {
+	p := NewPool()
+	if err := p.Add(NewNode("a", MareNostrumNode)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(NewNode("a", MareNostrumNode)); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate add err = %v", err)
+	}
+	if err := p.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove("a"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("remove missing err = %v", err)
+	}
+}
+
+func TestPoolFittingVsCapable(t *testing.T) {
+	p := NewPool()
+	small := NewNode("small", Description{Cores: 2, MemoryMB: 1000})
+	big := NewNode("big", Description{Cores: 16, MemoryMB: 64000})
+	_ = p.Add(small)
+	_ = p.Add(big)
+
+	c := Constraints{Cores: 2}
+	if got := len(p.Capable(c)); got != 2 {
+		t.Fatalf("Capable = %d nodes, want 2", got)
+	}
+	// Fill small: it stays capable but stops fitting.
+	if err := small.Reserve(Constraints{Cores: 2}); err != nil {
+		t.Fatal(err)
+	}
+	fitting := p.Fitting(c)
+	if len(fitting) != 1 || fitting[0].Name() != "big" {
+		t.Fatalf("Fitting = %v", fitting)
+	}
+	if got := len(p.Capable(c)); got != 2 {
+		t.Fatalf("Capable after load = %d nodes, want 2", got)
+	}
+}
+
+func TestPoolIterationDeterministic(t *testing.T) {
+	p := NewPool()
+	for _, name := range []string{"c", "a", "b"} {
+		_ = p.Add(NewNode(name, FogDevice))
+	}
+	nodes := p.Nodes()
+	want := []string{"c", "a", "b"} // insertion order
+	for i, n := range nodes {
+		if n.Name() != want[i] {
+			t.Fatalf("iteration order %v, want insertion order %v", nodes, want)
+		}
+	}
+	names := p.Names()
+	wantSorted := []string{"a", "b", "c"}
+	for i := range names {
+		if names[i] != wantSorted[i] {
+			t.Fatalf("Names() = %v, want sorted", names)
+		}
+	}
+}
+
+func TestSimProviderLimit(t *testing.T) {
+	prov := NewSimProvider("aws", CloudVM, 2, 30*time.Second)
+	n1, d, err := prov.Acquire()
+	if err != nil || n1 == nil || d != 30*time.Second {
+		t.Fatalf("first acquire: %v %v %v", n1, d, err)
+	}
+	if _, _, err := prov.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prov.Acquire(); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("over-limit acquire err = %v", err)
+	}
+	if err := prov.Release(n1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prov.Acquire(); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestElasticGrowAndShrink(t *testing.T) {
+	prov := NewSimProvider("cloud", CloudVM, 8, 0)
+	mgr := NewElasticManager(prov, ScalePolicy{MaxNodes: 4, TasksPerCore: 1, IdleCoresToShrink: 0})
+	pool := NewPool()
+
+	// Empty pool + pending work ⇒ grow.
+	if d := mgr.Evaluate(pool, 10); d != Grow {
+		t.Fatalf("decision = %v, want grow", d)
+	}
+	n, _, err := mgr.GrowOne(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Len() != 1 || mgr.ElasticCount() != 1 {
+		t.Fatal("grow did not register node")
+	}
+
+	// Massive backlog ⇒ keep growing until MaxNodes.
+	grew := 1
+	for mgr.Evaluate(pool, 1000) == Grow {
+		if _, _, err := mgr.GrowOne(pool); err != nil {
+			t.Fatal(err)
+		}
+		grew++
+	}
+	if grew != 4 {
+		t.Fatalf("grew to %d nodes, want MaxNodes=4", grew)
+	}
+
+	// Idle ⇒ shrink back down to MinNodes.
+	shrunk := 0
+	for mgr.Evaluate(pool, 0) == Shrink {
+		v, err := mgr.ShrinkOne(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == nil {
+			break
+		}
+		shrunk++
+	}
+	if shrunk != 4 || pool.Len() != 0 {
+		t.Fatalf("shrunk %d, pool %d nodes", shrunk, pool.Len())
+	}
+	_ = n
+}
+
+func TestShrinkSkipsBusyNodes(t *testing.T) {
+	prov := NewSimProvider("cloud", CloudVM, 4, 0)
+	mgr := NewElasticManager(prov, ScalePolicy{MaxNodes: 4, IdleCoresToShrink: 0})
+	pool := NewPool()
+	n1, _, _ := mgr.GrowOne(pool)
+	if err := n1.Reserve(Constraints{Cores: 1}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := mgr.ShrinkOne(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("shrunk busy node %s", v.Name())
+	}
+}
+
+// Property: for any sequence of reserve/release pairs, free capacity never
+// goes negative and never exceeds the description.
+func TestReservationInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		n := NewNode("x", Description{Cores: 8, MemoryMB: 8000, GPUs: 2})
+		var held []Constraints
+		for _, op := range ops {
+			if op%2 == 0 {
+				c := Constraints{
+					Cores:    int(op%4) + 1,
+					MemoryMB: int64(op%3) * 1000,
+					GPUs:     int(op % 2),
+				}
+				if n.Reserve(c) == nil {
+					held = append(held, c)
+				}
+			} else if len(held) > 0 {
+				n.Release(held[len(held)-1])
+				held = held[:len(held)-1]
+			}
+			if n.FreeCores() < 0 || n.FreeCores() > 8 {
+				return false
+			}
+			if n.FreeMemoryMB() < 0 || n.FreeMemoryMB() > 8000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{HPC: "hpc", Cloud: "cloud", Fog: "fog", Edge: "edge"} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestFederationPrefersCheapest(t *testing.T) {
+	cheap := NewSimProvider("spot", CloudVM, 2, 0)
+	pricey := NewSimProvider("ondemand", CloudVM, 2, 0)
+	fed := NewFederation("multi-cloud")
+	fed.AddProvider(pricey, 0.50)
+	fed.AddProvider(cheap, 0.10)
+
+	// First two acquisitions drain the cheap provider.
+	for i := 0; i < 2; i++ {
+		n, _, err := fed.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := n.Name(); got[:4] != "spot" {
+			t.Fatalf("acquisition %d came from %s, want spot", i, got)
+		}
+	}
+	// Third spills to the expensive one.
+	n3, _, err := fed.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3.Name()[:8] != "ondemand" {
+		t.Fatalf("spill went to %s", n3.Name())
+	}
+	// Fourth drains the expensive provider; fifth fails.
+	if _, _, err := fed.Acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fed.Acquire(); err == nil {
+		t.Fatal("over-capacity acquire succeeded")
+	}
+
+	// Release routes back to the producing provider.
+	if err := fed.Release(n3); err != nil {
+		t.Fatal(err)
+	}
+	if pricey.Granted() != 1 {
+		t.Fatalf("ondemand granted = %d after release, want 1", pricey.Granted())
+	}
+	if err := fed.Release(n3); err == nil {
+		t.Fatal("double release accepted")
+	}
+}
+
+func TestFederationWithElasticManager(t *testing.T) {
+	cheap := NewSimProvider("edge", FogDevice, 2, 0)
+	big := NewSimProvider("cloud", CloudVM, 4, 0)
+	fed := NewFederation("continuum")
+	fed.AddProvider(cheap, 0.05)
+	fed.AddProvider(big, 0.40)
+	mgr := NewElasticManager(fed, ScalePolicy{MaxNodes: 6, TasksPerCore: 1, IdleCoresToShrink: 0})
+	pool := NewPool()
+	grown := 0
+	for mgr.Evaluate(pool, 1000) == Grow {
+		if _, _, err := mgr.GrowOne(pool); err != nil {
+			t.Fatal(err)
+		}
+		grown++
+	}
+	if grown != 6 {
+		t.Fatalf("grew %d nodes, want 6 (2 edge + 4 cloud)", grown)
+	}
+	if cheap.Granted() != 2 || big.Granted() != 4 {
+		t.Fatalf("granted edge=%d cloud=%d", cheap.Granted(), big.Granted())
+	}
+	for {
+		v, err := mgr.ShrinkOne(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == nil {
+			break
+		}
+	}
+	if cheap.Granted() != 0 || big.Granted() != 0 {
+		t.Fatalf("after shrink: edge=%d cloud=%d", cheap.Granted(), big.Granted())
+	}
+}

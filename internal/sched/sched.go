@@ -1,0 +1,300 @@
+// Package sched provides the Task Scheduler of the runtime (paper Fig. 6)
+// as a family of pluggable policies. The paper calls for engines that
+// "schedule in parallel the workflow to be executed, … improve data
+// locality, … exploit heterogeneous computing platforms" (Sec. II-A) and
+// for "intelligent decisions … learning from previous executions"
+// (Sec. VI-C); each of those behaviours is one policy here, so experiments
+// can compare them directly.
+package sched
+
+import (
+	"time"
+
+	"repro/internal/mlpredict"
+	"repro/internal/resources"
+	"repro/internal/simnet"
+	"repro/internal/transfer"
+)
+
+// TaskView is the scheduler-facing summary of a ready task.
+type TaskView struct {
+	// ID is the task's graph ID.
+	ID int64
+	// Class groups tasks that run the same code (the predictor key).
+	Class string
+	// Constraints are the task's resource requirements.
+	Constraints resources.Constraints
+	// EstDuration is the declared base duration at SpeedFactor 1 (0 if
+	// unknown).
+	EstDuration time.Duration
+	// InputKeys are the data versions the task reads.
+	InputKeys []transfer.Key
+	// InputBytes is the total input size (covariate for the predictor).
+	InputBytes int64
+	// Priority orders ready tasks; higher runs first.
+	Priority int
+}
+
+// Context carries the shared facilities policies may consult. Any field
+// may be nil; policies must degrade gracefully.
+type Context struct {
+	// Registry locates data replicas (locality policies).
+	Registry *transfer.Registry
+	// Net models transfer costs (EFT-style policies).
+	Net *simnet.Network
+	// Predictor estimates durations from history (ML policy).
+	Predictor *mlpredict.Predictor
+}
+
+// Policy selects a node for a task among the nodes that currently fit its
+// constraints. Returning nil leaves the task queued. The fitting slice is
+// in pool insertion order and non-empty.
+type Policy interface {
+	// Name identifies the policy in experiment tables.
+	Name() string
+	// Pick chooses a node, or nil to wait.
+	Pick(t *TaskView, fitting []*resources.Node, ctx *Context) *resources.Node
+}
+
+// Prioritizer is an optional Policy extension: engines order ready tasks
+// by descending Priority before placing them, which is how an informed
+// policy implements longest-processing-time-first and similar list
+// heuristics. Engines fall back to submission order for policies that do
+// not implement it (or that return equal priorities).
+type Prioritizer interface {
+	// Priority ranks a ready task; higher places first.
+	Priority(t *TaskView, ctx *Context) float64
+}
+
+// estimate returns the best duration estimate for t on a reference core.
+func estimate(t *TaskView, ctx *Context) time.Duration {
+	if ctx != nil && ctx.Predictor != nil && ctx.Predictor.Trained(t.Class, 1) {
+		return ctx.Predictor.Predict(t.Class, t.InputBytes)
+	}
+	if t.EstDuration > 0 {
+		return t.EstDuration
+	}
+	return time.Second
+}
+
+// runTime scales the estimate by the node's speed factor.
+func runTime(est time.Duration, n *resources.Node) time.Duration {
+	sf := n.Desc().SpeedFactor
+	if sf <= 0 {
+		sf = 1
+	}
+	return time.Duration(float64(est) / sf)
+}
+
+// transferTime estimates the time to stage t's missing inputs onto n.
+func transferTime(t *TaskView, n *resources.Node, ctx *Context) time.Duration {
+	if ctx == nil || ctx.Registry == nil || ctx.Net == nil || len(t.InputKeys) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, k := range t.InputKeys {
+		if ctx.Registry.HasReplica(k, n.Name()) {
+			continue
+		}
+		sources := ctx.Registry.Where(k)
+		if len(sources) == 0 {
+			continue
+		}
+		_, tt, _ := ctx.Net.BestSource(n.Name(), sources, ctx.Registry.Size(k))
+		total += tt
+	}
+	return total
+}
+
+// FIFO assigns each task to the first node that fits, in pool order. It is
+// the baseline the paper's smarter engines are compared against.
+type FIFO struct{}
+
+var _ Policy = FIFO{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Pick implements Policy.
+func (FIFO) Pick(_ *TaskView, fitting []*resources.Node, _ *Context) *resources.Node {
+	return fitting[0]
+}
+
+// MinLoad balances by busy-core fraction.
+type MinLoad struct{}
+
+var _ Policy = MinLoad{}
+
+// Name implements Policy.
+func (MinLoad) Name() string { return "min-load" }
+
+// Pick implements Policy.
+func (MinLoad) Pick(_ *TaskView, fitting []*resources.Node, _ *Context) *resources.Node {
+	best := fitting[0]
+	bestFrac := loadFrac(best)
+	for _, n := range fitting[1:] {
+		if f := loadFrac(n); f < bestFrac {
+			best, bestFrac = n, f
+		}
+	}
+	return best
+}
+
+func loadFrac(n *resources.Node) float64 {
+	c := n.Desc().Cores
+	if c == 0 {
+		return 1
+	}
+	return float64(n.BusyCores()) / float64(c)
+}
+
+// Locality places each task where most of its input bytes already reside,
+// the behaviour enabled by the storage interface's getLocations
+// (paper Sec. VI-A-1, experiment E4).
+type Locality struct{}
+
+var _ Policy = Locality{}
+
+// Name implements Policy.
+func (Locality) Name() string { return "locality" }
+
+// Pick implements Policy.
+func (Locality) Pick(t *TaskView, fitting []*resources.Node, ctx *Context) *resources.Node {
+	if ctx == nil || ctx.Registry == nil {
+		return fitting[0]
+	}
+	best := fitting[0]
+	bestLocal := ctx.Registry.LocalBytes(best.Name(), t.InputKeys)
+	for _, n := range fitting[1:] {
+		local := ctx.Registry.LocalBytes(n.Name(), t.InputKeys)
+		switch {
+		case local > bestLocal:
+			best, bestLocal = n, local
+		case local == bestLocal && n.FreeCores() > best.FreeCores():
+			best = n
+		}
+	}
+	return best
+}
+
+// EFT picks the node with the earliest estimated finish time: input
+// staging plus speed-scaled compute. It models the list-scheduling engines
+// of Pegasus/COMPSs (paper Sec. II-A).
+type EFT struct{}
+
+var _ Policy = EFT{}
+
+// Name implements Policy.
+func (EFT) Name() string { return "eft" }
+
+// Pick implements Policy.
+func (EFT) Pick(t *TaskView, fitting []*resources.Node, ctx *Context) *resources.Node {
+	est := estimate(t, ctx)
+	best := fitting[0]
+	bestFinish := transferTime(t, best, ctx) + runTime(est, best)
+	for _, n := range fitting[1:] {
+		if f := transferTime(t, n, ctx) + runTime(est, n); f < bestFinish {
+			best, bestFinish = n, f
+		}
+	}
+	return best
+}
+
+// ML is the intelligent-runtime policy: identical shape to EFT but it
+// refuses to guess — while the predictor is untrained for a class it
+// behaves like MinLoad, and as history accumulates its placements converge
+// to informed earliest-finish-time decisions (experiment E8).
+type ML struct{}
+
+var _ Policy = ML{}
+
+// Name implements Policy.
+func (ML) Name() string { return "ml" }
+
+// Pick implements Policy.
+func (ML) Pick(t *TaskView, fitting []*resources.Node, ctx *Context) *resources.Node {
+	if ctx == nil || ctx.Predictor == nil || !ctx.Predictor.Trained(t.Class, 3) {
+		return MinLoad{}.Pick(t, fitting, ctx)
+	}
+	return EFT{}.Pick(t, fitting, ctx)
+}
+
+var _ Prioritizer = ML{}
+
+// Priority implements Prioritizer: longest-predicted-task-first, so big
+// tasks claim the fast nodes before small ones fill them. Untrained
+// classes rank 0 (submission order).
+func (ML) Priority(t *TaskView, ctx *Context) float64 {
+	if ctx == nil || ctx.Predictor == nil || !ctx.Predictor.Trained(t.Class, 3) {
+		return 0
+	}
+	return ctx.Predictor.Predict(t.Class, t.InputBytes).Seconds()
+}
+
+// EnergyAware minimises estimated task energy (cores × active watts ×
+// runtime), breaking ties by finish time. On a heterogeneous pool it
+// steers small tasks to low-power fog nodes (experiment E10).
+type EnergyAware struct {
+	// MaxSlowdown bounds how much longer the energy-optimal node may
+	// take versus the fastest fitting node (≤ 0 ⇒ 3×).
+	MaxSlowdown float64
+}
+
+var _ Policy = EnergyAware{}
+
+// Name implements Policy.
+func (EnergyAware) Name() string { return "energy" }
+
+// Pick implements Policy.
+func (p EnergyAware) Pick(t *TaskView, fitting []*resources.Node, ctx *Context) *resources.Node {
+	maxSlow := p.MaxSlowdown
+	if maxSlow <= 0 {
+		maxSlow = 3
+	}
+	est := estimate(t, ctx)
+	cores := t.Constraints.EffectiveCores()
+
+	// Find the fastest finish to bound acceptable slowdown.
+	fastest := time.Duration(1<<62 - 1)
+	for _, n := range fitting {
+		if f := runTime(est, n); f < fastest {
+			fastest = f
+		}
+	}
+
+	var best *resources.Node
+	var bestEnergy float64
+	var bestFinish time.Duration
+	for _, n := range fitting {
+		rt := runTime(est, n)
+		if float64(rt) > maxSlow*float64(fastest) {
+			continue
+		}
+		e := float64(cores) * n.Desc().ActiveWattsPerCore * rt.Seconds()
+		if best == nil || e < bestEnergy || (e == bestEnergy && rt < bestFinish) {
+			best, bestEnergy, bestFinish = n, e, rt
+		}
+	}
+	if best == nil {
+		return EFT{}.Pick(t, fitting, ctx)
+	}
+	return best
+}
+
+// ByName returns the named policy, defaulting to FIFO.
+func ByName(name string) Policy {
+	switch name {
+	case "min-load":
+		return MinLoad{}
+	case "locality":
+		return Locality{}
+	case "eft":
+		return EFT{}
+	case "ml":
+		return ML{}
+	case "energy":
+		return EnergyAware{}
+	default:
+		return FIFO{}
+	}
+}

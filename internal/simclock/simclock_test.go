@@ -1,0 +1,136 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := New()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d, want 0", got)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	c := New()
+	var order []int
+	c.At(3*time.Second, func() { order = append(order, 3) })
+	c.At(1*time.Second, func() { order = append(order, 1) })
+	c.At(2*time.Second, func() { order = append(order, 2) })
+	c.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if c.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", c.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(time.Second, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-time events fired out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	c := New()
+	var fired time.Duration
+	c.At(5*time.Second, func() {
+		c.After(2*time.Second, func() { fired = c.Now() })
+	})
+	c.Run()
+	if fired != 7*time.Second {
+		t.Fatalf("nested After fired at %v, want 7s", fired)
+	}
+}
+
+func TestPastSchedulingClampsToNow(t *testing.T) {
+	c := New()
+	var fired time.Duration
+	c.At(10*time.Second, func() {
+		c.At(1*time.Second, func() { fired = c.Now() })
+	})
+	c.Run()
+	if fired != 10*time.Second {
+		t.Fatalf("past event fired at %v, want clamp to 10s", fired)
+	}
+}
+
+func TestNegativeAfterClampsToZero(t *testing.T) {
+	c := New()
+	var fired bool
+	c.After(-time.Second, func() { fired = true })
+	c.Run()
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	c := New()
+	if c.Step() {
+		t.Fatal("Step() on empty clock returned true")
+	}
+}
+
+func TestRunUntilLeavesLaterEventsPending(t *testing.T) {
+	c := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second} {
+		d := d
+		c.At(d, func() { fired = append(fired, d) })
+	}
+	c.RunUntil(3 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if c.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", c.Pending())
+	}
+	c.Run()
+	if len(fired) != 3 {
+		t.Fatalf("after Run, fired %d events, want 3", len(fired))
+	}
+}
+
+func TestEventsCanCascade(t *testing.T) {
+	c := New()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 100 {
+			c.After(time.Millisecond, step)
+		}
+	}
+	c.After(0, step)
+	c.Run()
+	if count != 100 {
+		t.Fatalf("cascade ran %d times, want 100", count)
+	}
+	if c.Now() != 99*time.Millisecond {
+		t.Fatalf("Now() = %v, want 99ms", c.Now())
+	}
+}

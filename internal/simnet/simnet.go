@@ -1,0 +1,181 @@
+// Package simnet models the interconnect of an advanced cyberinfrastructure
+// platform: HPC fabric, cloud datacenter networks, and the slow, high-latency
+// links that reach fog and edge devices (paper Sec. III).
+//
+// The model is intentionally simple — per-pair bandwidth and latency — which
+// is the level of detail the paper's runtime decisions consume (data-transfer
+// cost between nodes, locality scoring). Resolution order for a pair of
+// nodes: explicit link, zone-pair rule, intra-zone rule, default.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Link describes one direction-less connection between two endpoints.
+type Link struct {
+	// BandwidthMBps is sustained throughput in megabytes per second.
+	BandwidthMBps float64
+	// Latency is the one-way message latency.
+	Latency time.Duration
+}
+
+// Valid reports whether the link has a usable bandwidth.
+func (l Link) Valid() bool { return l.BandwidthMBps > 0 }
+
+// TransferTime returns the time to move size bytes over the link.
+func (l Link) TransferTime(size int64) time.Duration {
+	if size <= 0 {
+		return l.Latency
+	}
+	if l.BandwidthMBps <= 0 {
+		return l.Latency
+	}
+	seconds := float64(size) / (l.BandwidthMBps * 1e6)
+	return l.Latency + time.Duration(seconds*float64(time.Second))
+}
+
+type pair struct{ a, b string }
+
+func normPair(a, b string) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// Network resolves links between named nodes. The zero value is not usable;
+// construct with New.
+type Network struct {
+	def       Link
+	links     map[pair]Link
+	zoneOf    map[string]string
+	zoneLinks map[pair]Link
+	intra     map[string]Link
+}
+
+// New returns a network whose unresolved pairs use the given default link.
+func New(def Link) *Network {
+	return &Network{
+		def:       def,
+		links:     make(map[pair]Link),
+		zoneOf:    make(map[string]string),
+		zoneLinks: make(map[pair]Link),
+		intra:     make(map[string]Link),
+	}
+}
+
+// SetLink installs an explicit bidirectional link between nodes a and b.
+func (n *Network) SetLink(a, b string, l Link) {
+	n.links[normPair(a, b)] = l
+}
+
+// SetZone assigns a node to a zone (e.g. "hpc", "cloud", "fog").
+func (n *Network) SetZone(node, zone string) {
+	n.zoneOf[node] = zone
+}
+
+// Zone returns the zone of a node, or "" if unassigned.
+func (n *Network) Zone(node string) string {
+	return n.zoneOf[node]
+}
+
+// SetZoneLink installs the link used between any node in zone a and any node
+// in zone b (a may equal b; prefer SetIntraZone for that case).
+func (n *Network) SetZoneLink(zoneA, zoneB string, l Link) {
+	n.zoneLinks[normPair(zoneA, zoneB)] = l
+}
+
+// SetIntraZone installs the link used between two distinct nodes of the same
+// zone.
+func (n *Network) SetIntraZone(zone string, l Link) {
+	n.intra[zone] = l
+}
+
+// LinkBetween resolves the effective link between two nodes. Transfers from
+// a node to itself are free (infinite bandwidth, zero latency).
+func (n *Network) LinkBetween(a, b string) Link {
+	if a == b {
+		return Link{BandwidthMBps: 0, Latency: 0} // local: TransferTime treats 0 bw as latency-only
+	}
+	if l, ok := n.links[normPair(a, b)]; ok {
+		return l
+	}
+	za, zb := n.zoneOf[a], n.zoneOf[b]
+	if za != "" && zb != "" {
+		if za == zb {
+			if l, ok := n.intra[za]; ok {
+				return l
+			}
+		}
+		if l, ok := n.zoneLinks[normPair(za, zb)]; ok {
+			return l
+		}
+	}
+	return n.def
+}
+
+// TransferTime returns the time to move size bytes from node a to node b.
+// Local transfers take zero time.
+func (n *Network) TransferTime(a, b string, size int64) time.Duration {
+	if a == b {
+		return 0
+	}
+	return n.LinkBetween(a, b).TransferTime(size)
+}
+
+// BestSource picks, among candidate source nodes, the one with the smallest
+// transfer time to dest for a payload of the given size. It returns the
+// chosen source and the transfer time. With no candidates it returns ok ==
+// false.
+func (n *Network) BestSource(dest string, candidates []string, size int64) (src string, t time.Duration, ok bool) {
+	if len(candidates) == 0 {
+		return "", 0, false
+	}
+	// Sort for determinism when several sources tie.
+	sorted := make([]string, len(candidates))
+	copy(sorted, candidates)
+	sort.Strings(sorted)
+	best := sorted[0]
+	bestT := n.TransferTime(best, dest, size)
+	for _, c := range sorted[1:] {
+		if ct := n.TransferTime(c, dest, size); ct < bestT {
+			best, bestT = c, ct
+		}
+	}
+	return best, bestT, true
+}
+
+// String summarises the network configuration.
+func (n *Network) String() string {
+	return fmt.Sprintf("simnet{links=%d zones=%d default=%.0fMB/s+%v}",
+		len(n.links), len(n.zoneLinks)+len(n.intra), n.def.BandwidthMBps, n.def.Latency)
+}
+
+// Continuum builds the three-tier network of the paper's Fig. 5 (cloud at
+// the top, fog in the middle, edge producing data at the bottom) plus an HPC
+// zone, with representative link qualities:
+//
+//	hpc   intra: 12.5 GB/s, 1µs   (InfiniBand-class)
+//	cloud intra: 1.25 GB/s, 50µs  (10 GbE)
+//	fog   intra: 12.5 MB/s, 2ms   (WiFi-class)
+//	edge→fog:    2.5 MB/s, 10ms   (constrained uplink)
+//	fog→cloud:   25 MB/s, 20ms    (WAN)
+//	cloud→hpc:   125 MB/s, 5ms    (site interconnect)
+//	edge→cloud:  2.5 MB/s, 40ms   (long WAN path)
+func Continuum() *Network {
+	n := New(Link{BandwidthMBps: 10, Latency: 20 * time.Millisecond})
+	n.SetIntraZone("hpc", Link{BandwidthMBps: 12500, Latency: time.Microsecond})
+	n.SetIntraZone("cloud", Link{BandwidthMBps: 1250, Latency: 50 * time.Microsecond})
+	n.SetIntraZone("fog", Link{BandwidthMBps: 12.5, Latency: 2 * time.Millisecond})
+	n.SetIntraZone("edge", Link{BandwidthMBps: 2.5, Latency: 10 * time.Millisecond})
+	n.SetZoneLink("edge", "fog", Link{BandwidthMBps: 2.5, Latency: 10 * time.Millisecond})
+	n.SetZoneLink("fog", "cloud", Link{BandwidthMBps: 25, Latency: 20 * time.Millisecond})
+	n.SetZoneLink("cloud", "hpc", Link{BandwidthMBps: 125, Latency: 5 * time.Millisecond})
+	n.SetZoneLink("edge", "cloud", Link{BandwidthMBps: 2.5, Latency: 40 * time.Millisecond})
+	n.SetZoneLink("edge", "hpc", Link{BandwidthMBps: 2.5, Latency: 45 * time.Millisecond})
+	n.SetZoneLink("fog", "hpc", Link{BandwidthMBps: 25, Latency: 25 * time.Millisecond})
+	return n
+}

@@ -1,0 +1,231 @@
+// Package steer implements computational steering over the storage
+// interface (paper Sec. VI-C): "the support to store data on databases …
+// allows scientists to check partial results before their long-lasting
+// simulations end the execution. This checking enables to detect in early
+// stages if the simulation is not behaving as expected and should be
+// steered … Our vision is that the workflow environment should provide
+// scientists with tools or mechanism that facilitates this steering."
+//
+// A Monitor polls a persisted object for fresh partial results and feeds
+// them to a user Check function, whose verdict (Continue / Adjust / Abort)
+// is published back through a control object the running workflow reads.
+package steer
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// Verdict is the steering decision for one partial result.
+type Verdict int
+
+// Steering outcomes.
+const (
+	// Continue lets the simulation proceed unchanged.
+	Continue Verdict = iota + 1
+	// Adjust proceeds with new parameters (carried in Decision.Params).
+	Adjust
+	// Abort stops the simulation.
+	Abort
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Continue:
+		return "continue"
+	case Adjust:
+		return "adjust"
+	case Abort:
+		return "abort"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Decision is what the checker returns and what the workflow polls.
+type Decision struct {
+	Verdict Verdict           `json:"verdict"`
+	Reason  string            `json:"reason,omitempty"`
+	Params  map[string]string `json:"params,omitempty"`
+}
+
+// Check inspects one partial result (raw bytes as persisted) and decides.
+type Check func(step int, partial []byte) Decision
+
+// Progress is a convenience wrapper the simulation side uses to publish
+// partial results: one object per step under "<prefix>/step/<n>", plus a
+// "<prefix>/latest" pointer.
+type Progress struct {
+	backend storage.Backend
+	prefix  string
+
+	mu   sync.Mutex
+	step int
+}
+
+// NewProgress creates a publisher rooted at prefix.
+func NewProgress(backend storage.Backend, prefix string) *Progress {
+	return &Progress{backend: backend, prefix: prefix}
+}
+
+// Publish persists one partial result and advances the step counter.
+func (p *Progress) Publish(partial []byte) (int, error) {
+	p.mu.Lock()
+	step := p.step + 1
+	p.mu.Unlock()
+
+	if err := p.backend.Put(p.stepID(step), partial); err != nil {
+		return 0, fmt.Errorf("steer publish step %d: %w", step, err)
+	}
+	raw, err := json.Marshal(step)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.backend.Put(p.latestID(), raw); err != nil {
+		return 0, fmt.Errorf("steer publish latest: %w", err)
+	}
+	p.mu.Lock()
+	p.step = step
+	p.mu.Unlock()
+	return step, nil
+}
+
+// Decision returns the newest steering decision, or (zero, false) when the
+// monitor has not decided anything yet. The simulation calls this between
+// steps.
+func (p *Progress) Decision() (Decision, bool) {
+	raw, err := p.backend.Get(p.decisionID())
+	if err != nil {
+		return Decision{}, false
+	}
+	var d Decision
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return Decision{}, false
+	}
+	return d, true
+}
+
+func (p *Progress) stepID(n int) storage.ObjectID {
+	return storage.ObjectID(fmt.Sprintf("%s/step/%d", p.prefix, n))
+}
+func (p *Progress) latestID() storage.ObjectID {
+	return storage.ObjectID(p.prefix + "/latest")
+}
+func (p *Progress) decisionID() storage.ObjectID {
+	return storage.ObjectID(p.prefix + "/decision")
+}
+
+// Monitor polls for new partial results and applies a Check. It owns one
+// goroutine; Stop shuts it down and waits.
+type Monitor struct {
+	backend  storage.Backend
+	prefix   string
+	check    Check
+	interval time.Duration
+
+	mu       sync.Mutex
+	lastSeen int
+	history  []Decision
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// ErrMonitorConfig is returned for invalid monitor parameters.
+var ErrMonitorConfig = errors.New("steer: backend, prefix and check are required")
+
+// NewMonitor starts watching the given prefix, invoking check once per new
+// step and persisting the decision where the simulation reads it.
+func NewMonitor(backend storage.Backend, prefix string, check Check, interval time.Duration) (*Monitor, error) {
+	if backend == nil || prefix == "" || check == nil {
+		return nil, ErrMonitorConfig
+	}
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	m := &Monitor{
+		backend:  backend,
+		prefix:   prefix,
+		check:    check,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go m.loop()
+	return m, nil
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+			m.poll()
+		}
+	}
+}
+
+func (m *Monitor) poll() {
+	p := &Progress{backend: m.backend, prefix: m.prefix}
+	raw, err := m.backend.Get(p.latestID())
+	if err != nil {
+		return // nothing published yet
+	}
+	var latest int
+	if err := json.Unmarshal(raw, &latest); err != nil {
+		return
+	}
+	m.mu.Lock()
+	from := m.lastSeen + 1
+	m.mu.Unlock()
+	for step := from; step <= latest; step++ {
+		partial, err := m.backend.Get(p.stepID(step))
+		if err != nil {
+			continue
+		}
+		d := m.check(step, partial)
+		if enc, err := json.Marshal(d); err == nil {
+			_ = m.backend.Put(p.decisionID(), enc)
+		}
+		m.mu.Lock()
+		m.lastSeen = step
+		m.history = append(m.history, d)
+		m.mu.Unlock()
+	}
+}
+
+// History returns a copy of the decisions taken so far.
+func (m *Monitor) History() []Decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Decision, len(m.history))
+	copy(out, m.history)
+	return out
+}
+
+// StepsSeen reports how many partial results were checked.
+func (m *Monitor) StepsSeen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastSeen
+}
+
+// Stop halts the monitor and waits for its goroutine.
+func (m *Monitor) Stop() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+}

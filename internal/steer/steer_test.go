@@ -1,0 +1,150 @@
+package steer
+
+import (
+	"encoding/json"
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil, "x", func(int, []byte) Decision { return Decision{} }, 0); !errors.Is(err, ErrMonitorConfig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{Continue: "continue", Adjust: "adjust", Abort: "abort"} {
+		if v.String() != want {
+			t.Errorf("%d = %q", int(v), v.String())
+		}
+	}
+}
+
+func TestPublishAndDecisionRoundTrip(t *testing.T) {
+	backend := storage.NewMemory("n1")
+	prog := NewProgress(backend, "sim1")
+
+	if _, ok := prog.Decision(); ok {
+		t.Fatal("decision before any monitoring")
+	}
+	step, err := prog.Publish([]byte("42"))
+	if err != nil || step != 1 {
+		t.Fatalf("publish: %d %v", step, err)
+	}
+
+	mon, err := NewMonitor(backend, "sim1", func(step int, partial []byte) Decision {
+		return Decision{Verdict: Continue, Reason: "step " + strconv.Itoa(step) + " ok: " + string(partial)}
+	}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Stop()
+
+	waitFor(t, func() bool { return mon.StepsSeen() >= 1 })
+	d, ok := prog.Decision()
+	if !ok || d.Verdict != Continue {
+		t.Fatalf("decision = %+v ok=%v", d, ok)
+	}
+}
+
+func TestSteeringDetectsDivergence(t *testing.T) {
+	// The paper's scenario: a long simulation publishes residuals; the
+	// monitor aborts when they diverge.
+	backend := storage.NewMemory("n1")
+	prog := NewProgress(backend, "climate")
+	mon, err := NewMonitor(backend, "climate", func(_ int, partial []byte) Decision {
+		var residual float64
+		if json.Unmarshal(partial, &residual) != nil {
+			return Decision{Verdict: Abort, Reason: "unreadable partial"}
+		}
+		if residual > 100 {
+			return Decision{Verdict: Abort, Reason: "diverging"}
+		}
+		if residual > 10 {
+			return Decision{Verdict: Adjust, Params: map[string]string{"dt": "halve"}}
+		}
+		return Decision{Verdict: Continue}
+	}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Stop()
+
+	// The "simulation": residuals 1, 20, 500 — then it checks steering.
+	aborted := false
+	for _, residual := range []float64{1, 20, 500} {
+		raw, err := json.Marshal(residual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step, err := prog.Publish(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, func() bool { return mon.StepsSeen() >= step })
+		if d, ok := prog.Decision(); ok && d.Verdict == Abort {
+			aborted = true
+			break
+		}
+	}
+	if !aborted {
+		t.Fatal("diverging simulation was not aborted")
+	}
+	hist := mon.History()
+	if len(hist) != 3 {
+		t.Fatalf("history = %d decisions, want 3", len(hist))
+	}
+	if hist[0].Verdict != Continue || hist[1].Verdict != Adjust || hist[2].Verdict != Abort {
+		t.Fatalf("history = %+v", hist)
+	}
+	if hist[1].Params["dt"] != "halve" {
+		t.Fatalf("adjust params = %v", hist[1].Params)
+	}
+}
+
+func TestMonitorStopIsIdempotent(t *testing.T) {
+	backend := storage.NewMemory("n1")
+	mon, err := NewMonitor(backend, "x", func(int, []byte) Decision { return Decision{Verdict: Continue} }, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Stop()
+	mon.Stop()
+}
+
+func TestMonitorCatchesUpOnBurst(t *testing.T) {
+	backend := storage.NewMemory("n1")
+	prog := NewProgress(backend, "burst")
+	// Publish 5 steps before the monitor starts.
+	for i := 0; i < 5; i++ {
+		if _, err := prog.Publish([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon, err := NewMonitor(backend, "burst", func(int, []byte) Decision {
+		return Decision{Verdict: Continue}
+	}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Stop()
+	waitFor(t, func() bool { return mon.StepsSeen() == 5 })
+	if len(mon.History()) != 5 {
+		t.Fatalf("history = %d, want 5", len(mon.History()))
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,325 @@
+package dataclay
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// vectorClass registers a []float64 class with sum/append methods.
+func vectorClass() Class {
+	return Class{
+		Name: "vector",
+		Methods: map[string]Method{
+			"sum": func(state, _ any) (any, any, error) {
+				v, ok := state.([]float64)
+				if !ok {
+					return state, nil, errors.New("bad state")
+				}
+				s := 0.0
+				for _, x := range v {
+					s += x
+				}
+				return state, s, nil
+			},
+			"append": func(state, args any) (any, any, error) {
+				v, _ := state.([]float64)
+				x, ok := args.(float64)
+				if !ok {
+					return state, nil, errors.New("bad args")
+				}
+				return append(v, x), len(v) + 1, nil
+			},
+		},
+		Size: func(state any) int64 {
+			v, _ := state.([]float64)
+			return int64(8 * len(v))
+		},
+	}
+}
+
+func newStore(t *testing.T, nodes ...string) *Store {
+	t.Helper()
+	if len(nodes) == 0 {
+		nodes = []string{"ds1", "ds2", "ds3"}
+	}
+	s, err := NewStore(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RegisterClass(vectorClass())
+	return s
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(nil); err == nil {
+		t.Fatal("empty store accepted")
+	}
+}
+
+func TestNewObjectRequiresClass(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.NewObject("ghost", nil); !errors.Is(err, ErrUnknownClass) {
+		t.Fatalf("err = %v, want ErrUnknownClass", err)
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	s := newStore(t)
+	homes := make(map[string]int)
+	for i := 0; i < 9; i++ {
+		id, err := s.NewObject("vector", []float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := s.Home(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		homes[h]++
+	}
+	if len(homes) != 3 {
+		t.Fatalf("placement used %d nodes, want 3", len(homes))
+	}
+	for n, c := range homes {
+		if c != 3 {
+			t.Fatalf("node %s got %d objects, want 3", n, c)
+		}
+	}
+}
+
+func TestCallExecutesInStore(t *testing.T) {
+	s := newStore(t)
+	id, _ := s.NewObject("vector", []float64{1, 2, 3})
+	res, err := s.Call(id, "sum", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 6.0 {
+		t.Fatalf("sum = %v, want 6", res)
+	}
+	// State mutation through a method persists.
+	if _, err := s.Call(id, "append", 4.0, 8); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = s.Call(id, "sum", nil, 0)
+	if res != 10.0 {
+		t.Fatalf("sum after append = %v, want 10", res)
+	}
+}
+
+func TestCallUnknownMethod(t *testing.T) {
+	s := newStore(t)
+	id, _ := s.NewObject("vector", []float64{})
+	if _, err := s.Call(id, "nope", nil, 0); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("err = %v, want ErrUnknownMethod", err)
+	}
+	if _, err := s.Call("missing", "sum", nil, 0); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMethodShippingMovesFewerBytesThanFetch(t *testing.T) {
+	s := newStore(t)
+	big := make([]float64, 1<<20) // 8 MB object
+	id, _ := s.NewObject("vector", big)
+
+	// In-store execution: tiny argument, scalar result.
+	if _, err := s.Call(id, "sum", nil, 16); err != nil {
+		t.Fatal(err)
+	}
+	shipped := s.Stats().BytesShipped
+
+	// Fetch-then-compute: whole object moves.
+	if _, err := s.Fetch(id); err != nil {
+		t.Fatal(err)
+	}
+	fetched := s.Stats().BytesFetched
+
+	if fetched != 8<<20 {
+		t.Fatalf("fetched = %d, want 8MiB", fetched)
+	}
+	if shipped*100 > fetched {
+		t.Fatalf("method shipping moved %d bytes vs fetch %d: should be ≥100x smaller", shipped, fetched)
+	}
+}
+
+func TestAliasSharing(t *testing.T) {
+	s := newStore(t)
+	id, _ := s.NewObject("vector", []float64{1})
+	if err := s.SetAlias("shared", id); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetByAlias("shared")
+	if err != nil || got != id {
+		t.Fatalf("GetByAlias = %v %v", got, err)
+	}
+	if _, err := s.GetByAlias("nope"); !errors.Is(err, ErrUnknownAlias) {
+		t.Fatalf("err = %v, want ErrUnknownAlias", err)
+	}
+	if err := s.SetAlias("x", "missing"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("alias to missing = %v", err)
+	}
+	// Delete removes aliases too.
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetByAlias("shared"); !errors.Is(err, ErrUnknownAlias) {
+		t.Fatal("alias survived delete")
+	}
+}
+
+func TestReplicationAndLocations(t *testing.T) {
+	s := newStore(t)
+	id, _ := s.NewObject("vector", []float64{1})
+	home, _ := s.Home(id)
+	var other string
+	for _, n := range s.Nodes() {
+		if n != home {
+			other = n
+			break
+		}
+	}
+	if err := s.Replicate(id, other); err != nil {
+		t.Fatal(err)
+	}
+	locs := s.LocationsOf(id)
+	if len(locs) != 2 {
+		t.Fatalf("locations = %v, want 2", locs)
+	}
+	if err := s.Replicate(id, "ghost"); !errors.Is(err, storage.ErrUnknownNode) {
+		t.Fatalf("replicate to ghost = %v", err)
+	}
+}
+
+func TestFailNodeLosesOnlyUnreplicated(t *testing.T) {
+	s := newStore(t, "a", "b")
+	// Object 1 replicated on both; object 2 only on its home.
+	id1, _ := s.NewObject("vector", []float64{1})
+	id2, _ := s.NewObject("vector", []float64{2})
+	h1, _ := s.Home(id1)
+	if err := s.Replicate(id1, otherOf(s, h1)); err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := s.Home(id2)
+
+	lost := s.FailNode(h2)
+	if h1 == h2 {
+		// id1 survives via replica; id2 lost.
+		if len(lost) != 1 || lost[0] != id2 {
+			t.Fatalf("lost = %v, want [%s]", lost, id2)
+		}
+	} else {
+		if len(lost) != 1 || lost[0] != id2 {
+			t.Fatalf("lost = %v, want [%s]", lost, id2)
+		}
+	}
+	// id1 must still be callable (re-homed if needed).
+	if _, err := s.Call(id1, "sum", nil, 0); err != nil {
+		t.Fatalf("replicated object unusable after failure: %v", err)
+	}
+	if newHome, _ := s.Home(id1); newHome == h2 {
+		t.Fatal("object still homed on dead node")
+	}
+}
+
+func otherOf(s *Store, not string) string {
+	for _, n := range s.Nodes() {
+		if n != not {
+			return n
+		}
+	}
+	return not
+}
+
+func TestClassRegistry(t *testing.T) {
+	s := newStore(t)
+	if got := s.Classes(); len(got) != 1 || got[0] != "vector" {
+		t.Fatalf("Classes = %v", got)
+	}
+	id, _ := s.NewObject("vector", []float64{})
+	if c, err := s.ClassOf(id); err != nil || c != "vector" {
+		t.Fatalf("ClassOf = %q %v", c, err)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	s := newStore(t)
+	id, _ := s.NewObject("vector", []float64{1, 2})
+	_, _ = s.Call(id, "sum", nil, 4)
+	_, _ = s.Fetch(id)
+	st := s.Stats()
+	if st.MethodCalls != 1 || st.Fetches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s.ResetStats()
+	if s.Stats() != (Stats{}) {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestConcurrentCallsOnOneObjectAreSerialised(t *testing.T) {
+	s := newStore(t)
+	id, _ := s.NewObject("vector", []float64{})
+	const (
+		workers = 8
+		perW    = 50
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if _, err := s.Call(id, "append", 1.0, 8); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Call(id, "sum", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every append must have landed: lost updates would show here.
+	if res != float64(workers*perW) {
+		t.Fatalf("sum = %v, want %d (lost updates)", res, workers*perW)
+	}
+}
+
+func TestConcurrentCallsAndFetches(t *testing.T) {
+	s := newStore(t)
+	id, _ := s.NewObject("vector", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_, _ = s.Call(id, "append", 1.0, 8)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := s.Fetch(id); err != nil {
+					t.Errorf("fetch: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,41 @@
+package hecuba
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// BenchmarkRingReplicas measures replica resolution, the per-access cost
+// of consistent-hash placement.
+func BenchmarkRingReplicas(b *testing.B) {
+	nodes := make([]string, 16)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("cass%02d", i)
+	}
+	r := NewRing(nodes, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Replicas(fmt.Sprintf("key%d", i%4096), 3)
+	}
+}
+
+// BenchmarkClusterPutGet measures the end-to-end store round trip.
+func BenchmarkClusterPutGet(b *testing.B) {
+	c, err := NewCluster([]string{"a", "b", "c"}, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := storage.ObjectID(fmt.Sprintf("k%d", i%1024))
+		if err := c.Put(id, val); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Get(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package hecuba
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Dict is Hecuba's signature abstraction: a named dictionary whose entries
+// are transparently mapped onto the key-value cluster ("the most
+// representative case is the mapping of Python dictionaries into Cassandra
+// tables", paper Sec. VI-A-1). Entry keys are scoped by the dict name, so
+// multiple dicts share one cluster without collisions.
+//
+// PartitionKeys exposes which entries are primary on a given node, which is
+// what lets a data-parallel workflow spawn one task per partition and have
+// the locality-aware scheduler run it next to its shard (experiment E4).
+type Dict struct {
+	name    string
+	cluster *Cluster
+
+	mu   sync.RWMutex
+	keys map[string]struct{}
+}
+
+// Dict opens (or creates) the named dictionary on the cluster.
+func (c *Cluster) Dict(name string) *Dict {
+	return &Dict{name: name, cluster: c, keys: make(map[string]struct{})}
+}
+
+// Name returns the dictionary name.
+func (d *Dict) Name() string { return d.name }
+
+func (d *Dict) scoped(key string) storage.ObjectID {
+	return storage.ObjectID(d.name + "/" + key)
+}
+
+// Put stores an entry.
+func (d *Dict) Put(key string, val []byte) error {
+	if err := d.cluster.Put(d.scoped(key), val); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.keys[key] = struct{}{}
+	d.mu.Unlock()
+	return nil
+}
+
+// Get retrieves an entry.
+func (d *Dict) Get(key string) ([]byte, error) {
+	return d.cluster.Get(d.scoped(key))
+}
+
+// Delete removes an entry.
+func (d *Dict) Delete(key string) error {
+	if err := d.cluster.Delete(d.scoped(key)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	delete(d.keys, key)
+	d.mu.Unlock()
+	return nil
+}
+
+// Contains reports whether key is present.
+func (d *Dict) Contains(key string) bool {
+	return d.cluster.Exists(d.scoped(key))
+}
+
+// Len returns the number of entries.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.keys)
+}
+
+// Keys returns all entry keys, sorted.
+func (d *Dict) Keys() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.keys))
+	for k := range d.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Locations returns the replica nodes of one entry (SRI getLocations).
+func (d *Dict) Locations(key string) []string {
+	return d.cluster.Locations(d.scoped(key))
+}
+
+// PartitionKeys returns the entry keys whose primary replica lives on
+// node, sorted — the per-node iteration Hecuba offers for locality-aware
+// data-parallel processing.
+func (d *Dict) PartitionKeys(node string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []string
+	for k := range d.keys {
+		if d.cluster.Primary(d.scoped(k)) == node {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ScopedID returns the cluster-level object ID of an entry, so runtime
+// components (transfer registry, schedulers) can reference dict entries.
+func (d *Dict) ScopedID(key string) storage.ObjectID { return d.scoped(key) }
+
+// DictNameOf extracts the dict name from a scoped object ID ("" if the ID
+// is not dict-scoped).
+func DictNameOf(id storage.ObjectID) string {
+	s := string(id)
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return ""
+	}
+	return s[:i]
+}

@@ -1,0 +1,397 @@
+// Package hecuba reimplements the behaviour of BSC's Hecuba ("a set of
+// tools that aims to facilitate programmers the utilization of key-value
+// datastores … the most representative case is the mapping of Python
+// dictionaries into Cassandra tables", paper Sec. VI-A-1).
+//
+// The Cassandra/ScyllaDB cluster underneath is replaced by an in-process
+// partitioned store with a consistent-hash ring and N-way replication
+// (DESIGN.md §4): partition placement and the Locations/PartitionKeys
+// queries — the facts the scheduler consumes for locality — behave like the
+// real system, while the wire protocol is elided.
+package hecuba
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+const defaultVNodes = 64
+
+// Ring is a consistent-hash ring with virtual nodes.
+type Ring struct {
+	points []ringPoint
+	nodes  map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the given nodes with vnodes virtual points
+// each (≤ 0 ⇒ 64).
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &Ring{nodes: make(map[string]struct{}, len(nodes))}
+	for _, n := range nodes {
+		r.nodes[n] = struct{}{}
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV-1a avalanches poorly on short, similar strings ("cass0#1",
+	// "cass0#2", …), which would clump every vnode of a node together on
+	// the ring. The MurmurHash3 fmix64 finalizer fixes the spread.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Nodes returns the distinct node names on the ring, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Replicas returns the n distinct nodes responsible for key, primary
+// first, walking the ring clockwise.
+func (r *Ring) Replicas(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64(key)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if idx == len(r.points) {
+		idx = 0
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// Primary returns the first replica for key.
+func (r *Ring) Primary(key string) string {
+	reps := r.Replicas(key, 1)
+	if len(reps) == 0 {
+		return ""
+	}
+	return reps[0]
+}
+
+// Cluster is the simulated key-value datastore. It implements
+// storage.Backend, so the COMPSs-style runtime can treat it as an SRI
+// backend. Cluster is safe for concurrent use.
+type Cluster struct {
+	replication int
+
+	mu         sync.RWMutex
+	ring       *Ring
+	nodeNames  []string
+	partitions map[string]map[string][]byte // node -> key -> value
+	extras     map[string]map[string]bool   // key -> node -> explicit replica
+}
+
+var _ storage.Backend = (*Cluster)(nil)
+
+// NewCluster creates a cluster over the given storage nodes with the given
+// replication factor (clamped to [1, len(nodes)]).
+func NewCluster(nodes []string, replication int) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("hecuba: cluster needs at least one node")
+	}
+	if replication <= 0 {
+		replication = 1
+	}
+	if replication > len(nodes) {
+		replication = len(nodes)
+	}
+	c := &Cluster{
+		ring:        NewRing(nodes, defaultVNodes),
+		nodeNames:   append([]string(nil), nodes...),
+		replication: replication,
+		partitions:  make(map[string]map[string][]byte, len(nodes)),
+		extras:      make(map[string]map[string]bool),
+	}
+	for _, n := range nodes {
+		c.partitions[n] = make(map[string][]byte)
+	}
+	return c, nil
+}
+
+// Name implements storage.Backend.
+func (c *Cluster) Name() string { return "hecuba" }
+
+// Replication returns the configured replication factor.
+func (c *Cluster) Replication() int { return c.replication }
+
+// Nodes returns the cluster's storage nodes, sorted.
+func (c *Cluster) Nodes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Nodes()
+}
+
+// Primary returns the node owning the first replica of an object.
+func (c *Cluster) Primary(id storage.ObjectID) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Primary(string(id))
+}
+
+// Put implements storage.Backend: the value lands on every replica node.
+func (c *Cluster) Put(id storage.ObjectID, val []byte) error {
+	key := string(id)
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, node := range c.ring.Replicas(key, c.replication) {
+		c.partitions[node][key] = cp
+	}
+	for node := range c.extras[key] {
+		c.partitions[node][key] = cp
+	}
+	return nil
+}
+
+// Get implements storage.Backend.
+func (c *Cluster) Get(id storage.ObjectID) ([]byte, error) {
+	key := string(id)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, node := range c.ring.Replicas(key, c.replication) {
+		if v, ok := c.partitions[node][key]; ok {
+			cp := make([]byte, len(v))
+			copy(cp, v)
+			return cp, nil
+		}
+	}
+	// Explicit replicas may survive when ring replicas were dropped.
+	for node := range c.extras[key] {
+		if v, ok := c.partitions[node][key]; ok {
+			cp := make([]byte, len(v))
+			copy(cp, v)
+			return cp, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", storage.ErrNotFound, id)
+}
+
+// Delete implements storage.Backend.
+func (c *Cluster) Delete(id storage.ObjectID) error {
+	key := string(id)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	found := false
+	for node, part := range c.partitions {
+		if _, ok := part[key]; ok {
+			delete(part, key)
+			found = true
+		}
+		_ = node
+	}
+	delete(c.extras, key)
+	if !found {
+		return fmt.Errorf("%w: %s", storage.ErrNotFound, id)
+	}
+	return nil
+}
+
+// Exists implements storage.Backend.
+func (c *Cluster) Exists(id storage.ObjectID) bool {
+	_, err := c.Get(id)
+	return err == nil
+}
+
+// Locations implements storage.Backend — the paper's getLocations.
+func (c *Cluster) Locations(id storage.ObjectID) []string {
+	key := string(id)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for node, part := range c.partitions {
+		if _, ok := part[key]; ok {
+			out = append(out, node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewReplica implements storage.Backend: copies the value to an extra node.
+func (c *Cluster) NewReplica(id storage.ObjectID, node string) error {
+	key := string(id)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	part, ok := c.partitions[node]
+	if !ok {
+		return fmt.Errorf("%w: %s", storage.ErrUnknownNode, node)
+	}
+	var val []byte
+	for _, n := range c.ring.Nodes() {
+		if v, ok := c.partitions[n][key]; ok {
+			val = v
+			break
+		}
+	}
+	if val == nil {
+		return fmt.Errorf("%w: %s", storage.ErrNotFound, id)
+	}
+	part[key] = val
+	if c.extras[key] == nil {
+		c.extras[key] = make(map[string]bool)
+	}
+	c.extras[key][node] = true
+	return nil
+}
+
+// AddNode grows the cluster (storage elasticity): the ring is rebuilt and
+// keys whose replica set now includes the new node are copied over, while
+// copies the old owners no longer hold responsibility for are dropped. It
+// returns the number of key copies moved.
+func (c *Cluster) AddNode(node string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.partitions[node]; dup {
+		return 0, fmt.Errorf("hecuba: node %s already in cluster", node)
+	}
+	c.nodeNames = append(c.nodeNames, node)
+	c.partitions[node] = make(map[string][]byte)
+	c.ring = NewRing(c.nodeNames, defaultVNodes)
+	return c.rebalanceLocked(), nil
+}
+
+// Decommission gracefully removes a node: its keys are first re-placed on
+// the surviving owners (unlike FailNode, nothing is lost). It returns the
+// number of key copies moved.
+func (c *Cluster) Decommission(node string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.partitions[node]; !ok {
+		return 0, fmt.Errorf("%w: %s", storage.ErrUnknownNode, node)
+	}
+	if len(c.nodeNames) == 1 {
+		return 0, fmt.Errorf("hecuba: cannot decommission the last node")
+	}
+	var keep []string
+	for _, n := range c.nodeNames {
+		if n != node {
+			keep = append(keep, n)
+		}
+	}
+	c.nodeNames = keep
+	c.ring = NewRing(keep, defaultVNodes)
+	if c.replication > len(keep) {
+		c.replication = len(keep)
+	}
+	// Rebalance while the leaving node's partition is still readable,
+	// then drop it.
+	moved := c.rebalanceLocked()
+	delete(c.partitions, node)
+	for key, nodes := range c.extras {
+		delete(nodes, node)
+		if len(nodes) == 0 {
+			delete(c.extras, key)
+		}
+	}
+	return moved, nil
+}
+
+// rebalanceLocked re-places every key according to the current ring.
+// Caller holds c.mu. Returns copies created.
+func (c *Cluster) rebalanceLocked() int {
+	// Collect the authoritative value of each key from any holder.
+	values := make(map[string][]byte)
+	for _, part := range c.partitions {
+		for k, v := range part {
+			if _, seen := values[k]; !seen {
+				values[k] = v
+			}
+		}
+	}
+	moved := 0
+	for key, val := range values {
+		want := make(map[string]bool, c.replication)
+		for _, n := range c.ring.Replicas(key, c.replication) {
+			want[n] = true
+		}
+		for n := range c.extras[key] {
+			want[n] = true
+		}
+		for node, part := range c.partitions {
+			_, has := part[key]
+			switch {
+			case want[node] && !has:
+				part[key] = val
+				moved++
+			case !want[node] && has:
+				delete(part, key)
+			}
+		}
+	}
+	return moved
+}
+
+// FailNode simulates losing a storage node: its partition vanishes. It
+// returns the number of key copies lost.
+func (c *Cluster) FailNode(node string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	part, ok := c.partitions[node]
+	if !ok {
+		return 0
+	}
+	lost := len(part)
+	c.partitions[node] = make(map[string][]byte)
+	for key, nodes := range c.extras {
+		delete(nodes, node)
+		if len(nodes) == 0 {
+			delete(c.extras, key)
+		}
+	}
+	return lost
+}
+
+// PartitionSize returns the number of keys stored on one node.
+func (c *Cluster) PartitionSize(node string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.partitions[node])
+}

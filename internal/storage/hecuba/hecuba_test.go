@@ -1,0 +1,351 @@
+package hecuba
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func cluster(t *testing.T, nodes int, repl int) *Cluster {
+	t.Helper()
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("cass%d", i)
+	}
+	c, err := NewCluster(names, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(nil, 1); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	c, err := NewCluster([]string{"a"}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Replication() != 1 {
+		t.Fatalf("replication = %d, want clamp to 1", c.Replication())
+	}
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	r1 := NewRing([]string{"a", "b", "c"}, 32)
+	r2 := NewRing([]string{"a", "b", "c"}, 32)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key%d", i)
+		a := r1.Replicas(k, 2)
+		b := r2.Replicas(k, 2)
+		if len(a) != 2 || a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("ring not deterministic for %s: %v vs %v", k, a, b)
+		}
+		if a[0] == a[1] {
+			t.Fatalf("replicas not distinct: %v", a)
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 64)
+	counts := make(map[string]int)
+	for i := 0; i < 4000; i++ {
+		counts[r.Primary(fmt.Sprintf("key%d", i))]++
+	}
+	for node, n := range counts {
+		if n < 400 || n > 2200 {
+			t.Fatalf("node %s owns %d/4000 keys: badly unbalanced", node, n)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d nodes received keys", len(counts))
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := cluster(t, 3, 2)
+	if err := c.Put("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("k1")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("Get = %q %v", got, err)
+	}
+	if !c.Exists("k1") || c.Exists("nope") {
+		t.Fatal("Exists wrong")
+	}
+}
+
+func TestReplicationFactorRespected(t *testing.T) {
+	c := cluster(t, 5, 3)
+	_ = c.Put("key", []byte("v"))
+	locs := c.Locations("key")
+	if len(locs) != 3 {
+		t.Fatalf("Locations = %v, want 3 replicas", locs)
+	}
+}
+
+func TestDeleteRemovesAllReplicas(t *testing.T) {
+	c := cluster(t, 3, 3)
+	_ = c.Put("key", []byte("v"))
+	if err := c.Delete("key"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Locations("key")) != 0 {
+		t.Fatal("replicas survive delete")
+	}
+	if err := c.Delete("key"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestNewReplicaAddsNode(t *testing.T) {
+	c := cluster(t, 4, 1)
+	_ = c.Put("key", []byte("v"))
+	before := c.Locations("key")
+	var target string
+	for _, n := range c.Nodes() {
+		if n != before[0] {
+			target = n
+			break
+		}
+	}
+	if err := c.NewReplica("key", target); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Locations("key")
+	if len(after) != 2 {
+		t.Fatalf("Locations after NewReplica = %v", after)
+	}
+	if err := c.NewReplica("key", "ghost"); !errors.Is(err, storage.ErrUnknownNode) {
+		t.Fatalf("replica to ghost = %v", err)
+	}
+	// Overwrite reaches the explicit replica too.
+	_ = c.Put("key", []byte("v2"))
+	if got, _ := c.Get("key"); string(got) != "v2" {
+		t.Fatal("stale value after overwrite")
+	}
+}
+
+func TestFailNodeSurvivedByReplication(t *testing.T) {
+	c := cluster(t, 3, 2)
+	for i := 0; i < 100; i++ {
+		_ = c.Put(storage.ObjectID(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	victim := c.Nodes()[0]
+	lost := c.FailNode(victim)
+	if lost == 0 {
+		t.Fatal("victim node held no keys — implausible with 100 keys")
+	}
+	// Replication 2: every key must survive a single node loss.
+	for i := 0; i < 100; i++ {
+		if _, err := c.Get(storage.ObjectID(fmt.Sprintf("k%d", i))); err != nil {
+			t.Fatalf("key k%d lost despite replication 2", i)
+		}
+	}
+}
+
+func TestFailNodeWithoutReplicationLosesData(t *testing.T) {
+	c := cluster(t, 3, 1)
+	for i := 0; i < 100; i++ {
+		_ = c.Put(storage.ObjectID(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	victim := c.Nodes()[0]
+	c.FailNode(victim)
+	lost := 0
+	for i := 0; i < 100; i++ {
+		if _, err := c.Get(storage.ObjectID(fmt.Sprintf("k%d", i))); err != nil {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("replication 1 should lose data on node failure")
+	}
+}
+
+func TestDictBasics(t *testing.T) {
+	c := cluster(t, 3, 2)
+	d := c.Dict("genes")
+	if err := d.Put("chr1", []byte("acgt")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get("chr1")
+	if err != nil || string(got) != "acgt" {
+		t.Fatalf("dict Get = %q %v", got, err)
+	}
+	if !d.Contains("chr1") || d.Contains("chr2") {
+		t.Fatal("Contains wrong")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if err := d.Delete("chr1"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatal("delete did not update key set")
+	}
+}
+
+func TestDictsAreNamespaced(t *testing.T) {
+	c := cluster(t, 3, 1)
+	d1 := c.Dict("a")
+	d2 := c.Dict("b")
+	_ = d1.Put("k", []byte("1"))
+	_ = d2.Put("k", []byte("2"))
+	v1, _ := d1.Get("k")
+	v2, _ := d2.Get("k")
+	if string(v1) != "1" || string(v2) != "2" {
+		t.Fatalf("namespace collision: %q %q", v1, v2)
+	}
+	if DictNameOf(d1.ScopedID("k")) != "a" {
+		t.Fatal("DictNameOf wrong")
+	}
+	if DictNameOf("plain") != "" {
+		t.Fatal("non-scoped ID should yield empty dict name")
+	}
+}
+
+func TestPartitionKeysCoverAllKeysOnce(t *testing.T) {
+	c := cluster(t, 4, 2)
+	d := c.Dict("tbl")
+	const n = 200
+	for i := 0; i < n; i++ {
+		_ = d.Put(fmt.Sprintf("row%03d", i), []byte("x"))
+	}
+	seen := make(map[string]int)
+	for _, node := range c.Nodes() {
+		for _, k := range d.PartitionKeys(node) {
+			seen[k]++
+			// The primary must actually hold a replica.
+			found := false
+			for _, loc := range d.Locations(k) {
+				if loc == node {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("partition key %s not replicated on its primary %s", k, node)
+			}
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("partition keys cover %d/%d keys", len(seen), n)
+	}
+	for k, times := range seen {
+		if times != 1 {
+			t.Fatalf("key %s appears in %d partitions", k, times)
+		}
+	}
+}
+
+// Property: Get always returns the last Put value, under any interleaving
+// of keys.
+func TestLastWriteWins(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c, err := NewCluster([]string{"a", "b", "c"}, 2)
+		if err != nil {
+			return false
+		}
+		last := make(map[string]string)
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", op%7)
+			val := fmt.Sprintf("v%d", i)
+			if err := c.Put(storage.ObjectID(key), []byte(val)); err != nil {
+				return false
+			}
+			last[key] = val
+		}
+		for k, want := range last {
+			got, err := c.Get(storage.ObjectID(k))
+			if err != nil || string(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddNodeRebalances(t *testing.T) {
+	c := cluster(t, 3, 2)
+	const n = 300
+	for i := 0; i < n; i++ {
+		_ = c.Put(storage.ObjectID(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	moved, err := c.AddNode("cass3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new node")
+	}
+	if got := c.PartitionSize("cass3"); got == 0 {
+		t.Fatal("new node owns nothing after rebalance")
+	}
+	// All keys still readable with correct replica count.
+	for i := 0; i < n; i++ {
+		id := storage.ObjectID(fmt.Sprintf("k%d", i))
+		if _, err := c.Get(id); err != nil {
+			t.Fatalf("k%d unreadable after AddNode", i)
+		}
+		if locs := c.Locations(id); len(locs) != 2 {
+			t.Fatalf("k%d has %d replicas after rebalance, want 2", i, len(locs))
+		}
+	}
+	if _, err := c.AddNode("cass3"); err == nil {
+		t.Fatal("duplicate AddNode accepted")
+	}
+}
+
+func TestDecommissionPreservesData(t *testing.T) {
+	c := cluster(t, 3, 1) // replication 1: graceful removal must still lose nothing
+	const n = 200
+	for i := 0; i < n; i++ {
+		_ = c.Put(storage.ObjectID(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	victim := c.Nodes()[1]
+	if _, err := c.Decommission(victim); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes()) != 2 {
+		t.Fatalf("nodes = %v", c.Nodes())
+	}
+	for i := 0; i < n; i++ {
+		got, err := c.Get(storage.ObjectID(fmt.Sprintf("k%d", i)))
+		if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d = %q %v after decommission", i, got, err)
+		}
+	}
+	if _, err := c.Decommission("ghost"); err == nil {
+		t.Fatal("decommission of unknown node accepted")
+	}
+}
+
+func TestDecommissionLastNodeRefused(t *testing.T) {
+	c := cluster(t, 1, 1)
+	if _, err := c.Decommission(c.Nodes()[0]); err == nil {
+		t.Fatal("removed the last node")
+	}
+}
+
+func TestDecommissionClampsReplication(t *testing.T) {
+	c := cluster(t, 2, 2)
+	_ = c.Put("key", []byte("v"))
+	if _, err := c.Decommission(c.Nodes()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Get("key"); err != nil || string(got) != "v" {
+		t.Fatalf("key lost: %q %v", got, err)
+	}
+	if c.Replication() != 1 {
+		t.Fatalf("replication = %d after shrink to 1 node", c.Replication())
+	}
+}

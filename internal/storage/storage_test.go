@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// doc is a test Persistable.
+type doc struct {
+	Title string `json:"title"`
+	Body  string `json:"body"`
+}
+
+func (d *doc) MarshalBinary() ([]byte, error)   { return json.Marshal(d) }
+func (d *doc) UnmarshalBinary(raw []byte) error { return json.Unmarshal(raw, d) }
+
+func TestMemoryPutGetDelete(t *testing.T) {
+	m := NewMemory("n1")
+	if err := m.Put("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Get("a")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("Get = %q %v", got, err)
+	}
+	if !m.Exists("a") || m.Exists("b") {
+		t.Fatal("Exists wrong")
+	}
+	if err := m.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get deleted = %v, want ErrNotFound", err)
+	}
+	if err := m.Delete("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestMemoryGetReturnsCopy(t *testing.T) {
+	m := NewMemory("n1")
+	_ = m.Put("a", []byte("abc"))
+	got, _ := m.Get("a")
+	got[0] = 'X'
+	again, _ := m.Get("a")
+	if string(again) != "abc" {
+		t.Fatal("Get leaked internal buffer")
+	}
+}
+
+func TestMemoryLocations(t *testing.T) {
+	m := NewMemory("host9")
+	if locs := m.Locations("a"); locs != nil {
+		t.Fatal("locations of missing object should be nil")
+	}
+	_ = m.Put("a", []byte("x"))
+	locs := m.Locations("a")
+	if len(locs) != 1 || locs[0] != "host9" {
+		t.Fatalf("Locations = %v", locs)
+	}
+}
+
+func TestMemoryReplicaRules(t *testing.T) {
+	m := NewMemory("n1")
+	_ = m.Put("a", []byte("x"))
+	if err := m.NewReplica("a", "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.NewReplica("a", "other"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("replica to other node = %v", err)
+	}
+}
+
+func TestHandleLifecycle(t *testing.T) {
+	m := NewMemory("n1")
+	d := &doc{Title: "t", Body: "hello"}
+	var h Handle
+	if h.Persisted() {
+		t.Fatal("zero handle should be volatile")
+	}
+	if err := h.Sync(d); !errors.Is(err, ErrNotPersisted) {
+		t.Fatalf("Sync volatile = %v", err)
+	}
+
+	if err := h.MakePersistent(m, "doc1", d); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Persisted() || h.ID() != "doc1" {
+		t.Fatal("handle not bound")
+	}
+
+	// Mutate and sync; a fresh object loads the new state.
+	d.Body = "updated"
+	if err := h.Sync(d); err != nil {
+		t.Fatal(err)
+	}
+	var d2 doc
+	if err := h.Load(&d2); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Body != "updated" {
+		t.Fatalf("loaded body = %q", d2.Body)
+	}
+
+	if err := h.DeletePersistent(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Persisted() {
+		t.Fatal("handle still persisted after delete")
+	}
+	if m.Exists("doc1") {
+		t.Fatal("backend still has deleted object")
+	}
+	if err := h.DeletePersistent(); !errors.Is(err, ErrNotPersisted) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestMemoryIDsSorted(t *testing.T) {
+	m := NewMemory("n1")
+	for _, id := range []ObjectID{"c", "a", "b"} {
+		_ = m.Put(id, []byte("1"))
+	}
+	ids := m.IDs()
+	if len(ids) != 3 || ids[0] != "a" || ids[2] != "c" {
+		t.Fatalf("IDs = %v", ids)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}

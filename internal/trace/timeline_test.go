@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{At: 0, Kind: TaskStarted, Task: 1, Node: "n1", Info: "load"},
+		{At: 0, Kind: TaskStarted, Task: 2, Node: "n2", Info: "load"},
+		{At: 2 * time.Second, Kind: TaskCompleted, Task: 1, Node: "n1"},
+		{At: 3 * time.Second, Kind: TaskCompleted, Task: 2, Node: "n2"},
+		{At: 3 * time.Second, Kind: TaskStarted, Task: 3, Node: "n1", Info: "merge"},
+		{At: 4 * time.Second, Kind: TaskFailed, Task: 3, Node: "n1"},
+	}
+}
+
+func TestTimelineReconstructsSpans(t *testing.T) {
+	spans := Timeline(sampleEvents())
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	if spans[0].Task != 1 || spans[0].Node != "n1" || spans[0].Duration() != 2*time.Second {
+		t.Fatalf("span[0] = %+v", spans[0])
+	}
+	if spans[2].Task != 3 || spans[2].Label != "merge" || spans[2].Start != 3*time.Second {
+		t.Fatalf("span[2] = %+v", spans[2])
+	}
+}
+
+func TestTimelineIgnoresOrphanCompletions(t *testing.T) {
+	spans := Timeline([]Event{{At: time.Second, Kind: TaskCompleted, Task: 9}})
+	if len(spans) != 0 {
+		t.Fatalf("orphan completion produced spans: %v", spans)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	utils := Utilization(Timeline(sampleEvents()))
+	if len(utils) != 2 {
+		t.Fatalf("nodes = %d", len(utils))
+	}
+	// n1: 2s + 1s = 3s busy over a 4s horizon.
+	n1 := utils[0]
+	if n1.Node != "n1" || n1.BusyTime != 3*time.Second || n1.Tasks != 2 {
+		t.Fatalf("n1 = %+v", n1)
+	}
+	if n1.AvgConcurrency < 0.74 || n1.AvgConcurrency > 0.76 {
+		t.Fatalf("n1 concurrency = %v, want 0.75", n1.AvgConcurrency)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	out := RenderASCII(Timeline(sampleEvents()), 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rows = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "n1") || !strings.Contains(lines[1], "n2") {
+		t.Fatalf("missing node labels:\n%s", out)
+	}
+	if !strings.Contains(out, "1") {
+		t.Fatalf("no busy cells rendered:\n%s", out)
+	}
+	if got := RenderASCII(nil, 10); got != "(no spans)\n" {
+		t.Fatalf("empty render = %q", got)
+	}
+}
+
+func TestRenderASCIIConcurrencyDigits(t *testing.T) {
+	events := []Event{
+		{At: 0, Kind: TaskStarted, Task: 1, Node: "n"},
+		{At: 0, Kind: TaskStarted, Task: 2, Node: "n"},
+		{At: time.Second, Kind: TaskCompleted, Task: 1, Node: "n"},
+		{At: time.Second, Kind: TaskCompleted, Task: 2, Node: "n"},
+	}
+	out := RenderASCII(Timeline(events), 10)
+	if !strings.Contains(out, "2") {
+		t.Fatalf("overlap not rendered as depth 2:\n%s", out)
+	}
+}

@@ -1,0 +1,224 @@
+// Package transfer tracks where each data version lives and plans the
+// transfers needed to run a task on a given node. It gives the runtime the
+// paper's "view that a single shared memory space is available … taking
+// care of all the necessary data-transfers between the nodes" (Sec. II-A),
+// and it is the information source for locality-aware scheduling (E4).
+package transfer
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/deps"
+	"repro/internal/simnet"
+)
+
+// Key identifies one immutable data version.
+type Key struct {
+	Data deps.DataID
+	Ver  int
+}
+
+// KeyOf converts a deps.Version into a Key.
+func KeyOf(v deps.Version) Key { return Key{Data: v.Data, Ver: v.Ver} }
+
+// Registry records replica locations and sizes for data versions. It is
+// safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	loc  map[Key]map[string]struct{}
+	size map[Key]int64
+}
+
+// NewRegistry returns an empty location registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		loc:  make(map[Key]map[string]struct{}),
+		size: make(map[Key]int64),
+	}
+}
+
+// SetSize records the size in bytes of a data version.
+func (r *Registry) SetSize(k Key, bytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.size[k] = bytes
+}
+
+// Size returns the recorded size of a data version (0 if unknown).
+func (r *Registry) Size(k Key) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.size[k]
+}
+
+// AddReplica records that node holds a copy of k.
+func (r *Registry) AddReplica(k Key, node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set, ok := r.loc[k]
+	if !ok {
+		set = make(map[string]struct{})
+		r.loc[k] = set
+	}
+	set[node] = struct{}{}
+}
+
+// RemoveReplica forgets node's copy of k.
+func (r *Registry) RemoveReplica(k Key, node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if set, ok := r.loc[k]; ok {
+		delete(set, node)
+		if len(set) == 0 {
+			delete(r.loc, k)
+		}
+	}
+}
+
+// DropNode forgets every replica held by node (node failure). It returns
+// the keys that lost their last replica — the data that must be recovered
+// by re-execution (E7).
+func (r *Registry) DropNode(node string) []Key {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lost []Key
+	for k, set := range r.loc {
+		if _, ok := set[node]; !ok {
+			continue
+		}
+		delete(set, node)
+		if len(set) == 0 {
+			delete(r.loc, k)
+			lost = append(lost, k)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool {
+		if lost[i].Data != lost[j].Data {
+			return lost[i].Data < lost[j].Data
+		}
+		return lost[i].Ver < lost[j].Ver
+	})
+	return lost
+}
+
+// Where returns the nodes holding a replica of k, sorted.
+func (r *Registry) Where(k Key) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	set, ok := r.loc[k]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasReplica reports whether node holds a copy of k.
+func (r *Registry) HasReplica(k Key, node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.loc[k][node]
+	return ok
+}
+
+// LocalBytes sums the sizes of the given keys already present on node.
+// It is the locality score schedulers maximise (paper Sec. VI-A-1: the
+// getLocations method "will enable the runtime to exploit the locality of
+// the data by scheduling tasks in the location where the data resides").
+func (r *Registry) LocalBytes(node string, keys []Key) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, k := range keys {
+		if _, ok := r.loc[k][node]; ok {
+			total += r.size[k]
+		}
+	}
+	return total
+}
+
+// MissingBytes sums the sizes of the given keys NOT present on node.
+func (r *Registry) MissingBytes(node string, keys []Key) int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, k := range keys {
+		if _, ok := r.loc[k][node]; !ok {
+			total += r.size[k]
+		}
+	}
+	return total
+}
+
+// Plan describes the transfers needed to materialise a set of keys on one
+// node.
+type Plan struct {
+	// Time is the serialised transfer time (transfers share the node's
+	// ingress link, so they are summed).
+	Time time.Duration
+	// Bytes is the total payload moved.
+	Bytes int64
+	// Moves lists each fetch.
+	Moves []Move
+	// MissingKeys lists keys with no replica anywhere (caller decides
+	// whether that is fatal or means "recompute").
+	MissingKeys []Key
+}
+
+// Move is one planned fetch.
+type Move struct {
+	Key  Key
+	From string
+	To   string
+	Size int64
+}
+
+// Manager plans transfers over a network model.
+type Manager struct {
+	net *simnet.Network
+	reg *Registry
+}
+
+// NewManager returns a manager over the given network and registry.
+func NewManager(net *simnet.Network, reg *Registry) *Manager {
+	return &Manager{net: net, reg: reg}
+}
+
+// Registry exposes the location registry.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// PlanFetch computes the transfers needed so dest holds every key, choosing
+// the fastest source for each (replicas already local cost nothing).
+func (m *Manager) PlanFetch(dest string, keys []Key) Plan {
+	var p Plan
+	for _, k := range keys {
+		if m.reg.HasReplica(k, dest) {
+			continue
+		}
+		sources := m.reg.Where(k)
+		if len(sources) == 0 {
+			p.MissingKeys = append(p.MissingKeys, k)
+			continue
+		}
+		size := m.reg.Size(k)
+		src, t, _ := m.net.BestSource(dest, sources, size)
+		p.Time += t
+		p.Bytes += size
+		p.Moves = append(p.Moves, Move{Key: k, From: src, To: dest, Size: size})
+	}
+	return p
+}
+
+// Apply records the copies of a plan in the registry (the fetches
+// happened: dest now replicates each moved key).
+func (m *Manager) Apply(p Plan) {
+	for _, mv := range p.Moves {
+		m.reg.AddReplica(mv.Key, mv.To)
+	}
+}

@@ -1,0 +1,162 @@
+package transfer
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/deps"
+	"repro/internal/simnet"
+)
+
+func key(d, v int) Key { return Key{Data: deps.DataID(d), Ver: v} }
+
+func TestRegistryReplicas(t *testing.T) {
+	r := NewRegistry()
+	k := key(1, 1)
+	r.AddReplica(k, "n2")
+	r.AddReplica(k, "n1")
+	r.AddReplica(k, "n1") // duplicate
+	got := r.Where(k)
+	if len(got) != 2 || got[0] != "n1" || got[1] != "n2" {
+		t.Fatalf("Where = %v, want [n1 n2]", got)
+	}
+	if !r.HasReplica(k, "n1") || r.HasReplica(k, "n3") {
+		t.Fatal("HasReplica wrong")
+	}
+	r.RemoveReplica(k, "n1")
+	if r.HasReplica(k, "n1") {
+		t.Fatal("replica not removed")
+	}
+}
+
+func TestLocalAndMissingBytes(t *testing.T) {
+	r := NewRegistry()
+	k1, k2, k3 := key(1, 1), key(2, 1), key(3, 1)
+	r.SetSize(k1, 100)
+	r.SetSize(k2, 200)
+	r.SetSize(k3, 400)
+	r.AddReplica(k1, "n1")
+	r.AddReplica(k2, "n1")
+	r.AddReplica(k3, "n2")
+	keys := []Key{k1, k2, k3}
+	if got := r.LocalBytes("n1", keys); got != 300 {
+		t.Fatalf("LocalBytes(n1) = %d, want 300", got)
+	}
+	if got := r.MissingBytes("n1", keys); got != 400 {
+		t.Fatalf("MissingBytes(n1) = %d, want 400", got)
+	}
+}
+
+func TestDropNodeReportsLostData(t *testing.T) {
+	r := NewRegistry()
+	k1, k2 := key(1, 1), key(2, 1)
+	r.AddReplica(k1, "dying") // sole replica -> lost
+	r.AddReplica(k2, "dying")
+	r.AddReplica(k2, "safe") // replicated -> survives
+	lost := r.DropNode("dying")
+	if len(lost) != 1 || lost[0] != k1 {
+		t.Fatalf("lost = %v, want [%v]", lost, k1)
+	}
+	if len(r.Where(k2)) != 1 {
+		t.Fatal("replicated key should survive node loss")
+	}
+	if len(r.Where(k1)) != 0 {
+		t.Fatal("lost key should have no locations")
+	}
+}
+
+func newManager() (*Manager, *Registry) {
+	net := simnet.New(simnet.Link{BandwidthMBps: 100, Latency: 0})
+	reg := NewRegistry()
+	return NewManager(net, reg), reg
+}
+
+func TestPlanFetchSkipsLocalReplicas(t *testing.T) {
+	m, reg := newManager()
+	k := key(1, 1)
+	reg.SetSize(k, 1e6)
+	reg.AddReplica(k, "dest")
+	p := m.PlanFetch("dest", []Key{k})
+	if p.Bytes != 0 || p.Time != 0 || len(p.Moves) != 0 {
+		t.Fatalf("local fetch planned moves: %+v", p)
+	}
+}
+
+func TestPlanFetchChoosesFastestSource(t *testing.T) {
+	net := simnet.New(simnet.Link{BandwidthMBps: 1, Latency: 0})
+	net.SetLink("fast", "dest", simnet.Link{BandwidthMBps: 1000})
+	reg := NewRegistry()
+	m := NewManager(net, reg)
+	k := key(1, 1)
+	reg.SetSize(k, 1e6)
+	reg.AddReplica(k, "slow")
+	reg.AddReplica(k, "fast")
+	p := m.PlanFetch("dest", []Key{k})
+	if len(p.Moves) != 1 || p.Moves[0].From != "fast" {
+		t.Fatalf("moves = %+v, want fetch from fast", p.Moves)
+	}
+	if p.Bytes != 1e6 {
+		t.Fatalf("bytes = %d", p.Bytes)
+	}
+	// 1 MB at 1000 MB/s = 1 ms.
+	if p.Time != time.Millisecond {
+		t.Fatalf("time = %v, want 1ms", p.Time)
+	}
+}
+
+func TestPlanFetchAccumulates(t *testing.T) {
+	m, reg := newManager()
+	k1, k2 := key(1, 1), key(2, 1)
+	reg.SetSize(k1, 100e6) // 1 s at 100 MB/s
+	reg.SetSize(k2, 200e6) // 2 s
+	reg.AddReplica(k1, "src")
+	reg.AddReplica(k2, "src")
+	p := m.PlanFetch("dest", []Key{k1, k2})
+	if p.Time != 3*time.Second {
+		t.Fatalf("serialized transfer time = %v, want 3s", p.Time)
+	}
+	if p.Bytes != 300e6 {
+		t.Fatalf("bytes = %d, want 3e8", p.Bytes)
+	}
+}
+
+func TestPlanFetchReportsMissing(t *testing.T) {
+	m, _ := newManager()
+	k := key(9, 1)
+	p := m.PlanFetch("dest", []Key{k})
+	if len(p.MissingKeys) != 1 || p.MissingKeys[0] != k {
+		t.Fatalf("missing = %v, want [%v]", p.MissingKeys, k)
+	}
+}
+
+func TestApplyRecordsNewReplicas(t *testing.T) {
+	m, reg := newManager()
+	k := key(1, 1)
+	reg.SetSize(k, 10)
+	reg.AddReplica(k, "src")
+	p := m.PlanFetch("dest", []Key{k})
+	m.Apply(p)
+	if !reg.HasReplica(k, "dest") {
+		t.Fatal("Apply did not record replica at dest")
+	}
+	// Second fetch is now free.
+	p2 := m.PlanFetch("dest", []Key{k})
+	if p2.Bytes != 0 {
+		t.Fatal("second fetch should be local")
+	}
+}
+
+func TestVersionsAreDistinctKeys(t *testing.T) {
+	r := NewRegistry()
+	r.AddReplica(key(1, 1), "n1")
+	if r.HasReplica(key(1, 2), "n1") {
+		t.Fatal("different versions must not alias")
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	v := deps.Version{Data: 7, Ver: 3}
+	if KeyOf(v) != (Key{Data: 7, Ver: 3}) {
+		t.Fatal("KeyOf mismatch")
+	}
+}
