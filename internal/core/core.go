@@ -8,23 +8,27 @@
 //
 // This package executes real Go functions with real concurrency; the
 // companion package internal/infra replays the same scheduling machinery
-// over virtual time for the scale experiments. Both share the access
-// processor (internal/deps), the resource model (internal/resources) and
-// the scheduling policies (internal/sched).
+// over virtual time for the scale experiments. Both are thin backends over
+// the shared scheduling engine (internal/engine) — one ready-queue,
+// placement loop and dependency-release path — alongside the shared access
+// processor (internal/deps), resource model (internal/resources) and
+// scheduling policies (internal/sched). Here the engine's Clock is wall
+// time and its Executor spawns a goroutine per placement.
 package core
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/deps"
+	"repro/internal/engine"
 	"repro/internal/mlpredict"
 	"repro/internal/resources"
 	"repro/internal/sched"
+	"repro/internal/simnet"
 	"repro/internal/trace"
 	"repro/internal/transfer"
 )
@@ -137,6 +141,11 @@ type Config struct {
 	Provenance *trace.Provenance
 	// Locations, when set, lets locality policies see value placement.
 	Locations *transfer.Registry
+	// Net, when set together with Locations, makes the engine account the
+	// data movements a distributed deployment would pay — the same
+	// transfer books the simulator keeps, so both backends report
+	// identical transfer counts for the same DAG.
+	Net *simnet.Network
 }
 
 // versionSlot holds one produced value.
@@ -145,43 +154,35 @@ type versionSlot struct {
 	err error
 }
 
-// rtTask is one submitted invocation.
+// rtTask is one submitted invocation. The engine task is embedded so one
+// allocation carries both the scheduler-facing and runtime-facing state.
 type rtTask struct {
-	id         int64
-	def        TaskDef
-	params     []Param
-	reads      []deps.Version
-	writes     []deps.Version
-	waitCount  int
-	dependents []int64
-	future     *Future
-	started    time.Time
-	finished   bool // set under Runtime.mu before the future closes
+	et     engine.Task
+	def    TaskDef
+	params []Param
+	reads  []deps.Version
+	writes []deps.Version
+	future *Future
 }
 
 // Runtime executes tasks. Create with New, stop with Shutdown.
 type Runtime struct {
 	cfg  Config
 	proc *deps.Processor
+	eng  *engine.Engine
 
 	mu       sync.Mutex
 	defs     map[string]TaskDef
-	tasks    map[int64]*rtTask
 	values   map[deps.Version]versionSlot
-	ready    []int64
-	inflight int
 	nextTask int64
 	nextData int64
 	stopped  bool
 
-	wake  chan struct{}  // nudges the dispatcher
-	quit  chan struct{}  // stops the dispatcher
-	done  chan struct{}  // dispatcher exited
 	wg    sync.WaitGroup // running task goroutines
 	epoch time.Time      // trace-event time base
 }
 
-// New creates a runtime and starts its dispatcher.
+// New creates a runtime.
 func New(cfg Config) *Runtime {
 	if cfg.Pool == nil {
 		cfg.Pool = resources.NewPool()
@@ -196,14 +197,23 @@ func New(cfg Config) *Runtime {
 		cfg:    cfg,
 		proc:   deps.NewProcessor(),
 		defs:   make(map[string]TaskDef),
-		tasks:  make(map[int64]*rtTask),
 		values: make(map[deps.Version]versionSlot),
-		wake:   make(chan struct{}, 1),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
 		epoch:  time.Now(),
 	}
-	go rt.dispatch()
+	rt.eng = engine.New(engine.Config{
+		Pool:     cfg.Pool,
+		Policy:   cfg.Policy,
+		Clock:    engine.WallClock{Epoch: rt.epoch},
+		Executor: (*coreExecutor)(rt),
+		Registry: cfg.Locations,
+		Net:      cfg.Net,
+		Tracer:   cfg.Tracer,
+		SchedContext: &sched.Context{
+			Registry:  cfg.Locations,
+			Net:       cfg.Net,
+			Predictor: cfg.Predictor,
+		},
+	})
 	return rt
 }
 
@@ -248,13 +258,14 @@ func (rt *Runtime) Submit(name string, params ...Param) (*Future, error) {
 		rt.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrUnknownTask, name)
 	}
-	if len(rt.cfg.Pool.Capable(def.Constraints)) == 0 {
+	if !rt.cfg.Pool.AnyCapable(def.Constraints) {
 		rt.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s needs %+v", ErrUnplaceable, name, def.Constraints)
 	}
 
 	rt.nextTask++
 	id := rt.nextTask
+	params = append([]Param(nil), params...)
 	var accesses []deps.Access
 	for i := range params {
 		if params[i].Handle == nil {
@@ -278,91 +289,32 @@ func (rt *Runtime) Submit(name string, params ...Param) (*Future, error) {
 	res := rt.proc.Register(deps.TaskID(id), accesses)
 
 	t := &rtTask{
-		id:     id,
 		def:    def,
-		params: append([]Param(nil), params...),
+		params: params,
 		reads:  res.Reads,
 		writes: res.Writes,
 		future: &Future{done: make(chan struct{})},
 	}
-	// Only count dependencies whose producer has not already finished.
-	// The finished flag flips under rt.mu (in execute), so this check
-	// cannot race with completion.
-	for _, d := range res.Deps {
-		if dep, ok := rt.tasks[int64(d)]; ok && !dep.finished {
-			dep.dependents = append(dep.dependents, id)
-			t.waitCount++
-		}
+	t.et = engine.Task{
+		ID:          id,
+		Class:       def.Name,
+		Constraints: def.Constraints,
+		InputKeys:   keysOf(res.Reads),
+		OutputKeys:  keysOf(res.Writes),
+		Payload:     t,
 	}
-	rt.tasks[id] = t
-	rt.cfg.Tracer.Record(trace.Event{At: rt.now(), Kind: trace.TaskSubmitted, Task: id, Info: name})
-	if t.waitCount == 0 {
-		rt.ready = append(rt.ready, id)
+	if rt.cfg.Tracer != nil {
+		rt.cfg.Tracer.Record(trace.Event{At: rt.now(), Kind: trace.TaskSubmitted, Task: id, Info: name})
 	}
+	// The engine counts only dependencies whose producer has not already
+	// finished; rt.mu is held through Add so a dependent can never slip in
+	// ahead of its producer's registration.
+	ready := rt.eng.Add(&t.et, res.Deps, 0)
 	rt.mu.Unlock()
-	rt.nudge()
+	if ready {
+		rt.eng.Schedule()
+	}
 	return t.future, nil
-}
-
-// nudge wakes the dispatcher without blocking.
-func (rt *Runtime) nudge() {
-	select {
-	case rt.wake <- struct{}{}:
-	default:
-	}
-}
-
-// dispatch is the scheduling loop: a single goroutine, so placement
-// decisions are serialised like the COMPSs Task Scheduler component.
-func (rt *Runtime) dispatch() {
-	defer close(rt.done)
-	for {
-		select {
-		case <-rt.quit:
-			return
-		case <-rt.wake:
-			rt.placeReady()
-		}
-	}
-}
-
-// placeReady starts every ready task that fits somewhere right now.
-func (rt *Runtime) placeReady() {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	sort.Slice(rt.ready, func(i, j int) bool { return rt.ready[i] < rt.ready[j] })
-	var still []int64
-	for _, id := range rt.ready {
-		t := rt.tasks[id]
-		fitting := rt.cfg.Pool.Fitting(t.def.Constraints)
-		if len(fitting) == 0 {
-			still = append(still, id)
-			continue
-		}
-		view := &sched.TaskView{
-			ID:          id,
-			Class:       t.def.Name,
-			Constraints: t.def.Constraints,
-			InputKeys:   keysOf(t.reads),
-		}
-		node := rt.cfg.Policy.Pick(view, fitting, &sched.Context{
-			Registry:  rt.cfg.Locations,
-			Predictor: rt.cfg.Predictor,
-		})
-		if node == nil {
-			still = append(still, id)
-			continue
-		}
-		if err := node.Reserve(t.def.Constraints); err != nil {
-			still = append(still, id)
-			continue
-		}
-		rt.inflight++
-		args, depErr := rt.materialiseLocked(t)
-		rt.wg.Add(1)
-		go rt.execute(t, node, args, depErr)
-	}
-	rt.ready = still
 }
 
 func keysOf(vs []deps.Version) []transfer.Key {
@@ -371,6 +323,24 @@ func keysOf(vs []deps.Version) []transfer.Key {
 		out[i] = transfer.KeyOf(v)
 	}
 	return out
+}
+
+// coreExecutor adapts the runtime to engine.Executor: each placement
+// becomes a goroutine running the task body on its reserved node.
+type coreExecutor Runtime
+
+// Launch implements engine.Executor.
+func (x *coreExecutor) Launch(p engine.Placement) {
+	rt := (*Runtime)(x)
+	t, ok := p.Task.Payload.(*rtTask)
+	if !ok {
+		return
+	}
+	rt.mu.Lock()
+	args, depErr := rt.materialiseLocked(t)
+	rt.wg.Add(1)
+	rt.mu.Unlock()
+	go rt.execute(t, p.Epoch, args, depErr)
 }
 
 // materialiseLocked resolves parameter values. Caller holds rt.mu.
@@ -396,13 +366,16 @@ func (rt *Runtime) materialiseLocked(t *rtTask) ([]any, error) {
 	return args, depErr
 }
 
-// execute runs one task on its reserved node.
-func (rt *Runtime) execute(t *rtTask, node *resources.Node, args []any, depErr error) {
+// execute runs one task on its reserved node group.
+func (rt *Runtime) execute(t *rtTask, epoch int, args []any, depErr error) {
 	defer rt.wg.Done()
-	rt.cfg.Tracer.Record(trace.Event{At: rt.now(), Kind: trace.TaskStarted, Task: t.id, Node: node.Name(), Info: t.def.Name})
-	t.started = time.Now()
+	var started time.Time
+	if rt.cfg.Predictor != nil {
+		started = time.Now()
+	}
 
 	var vals []any
+	var elapsed time.Duration
 	err := depErr
 	if err == nil {
 		for attempt := 0; ; attempt++ {
@@ -411,8 +384,12 @@ func (rt *Runtime) execute(t *rtTask, node *resources.Node, args []any, depErr e
 				break
 			}
 		}
+		if rt.cfg.Predictor != nil {
+			// Measured here so lock waits and value binding below do not
+			// inflate the durations the predictor learns from.
+			elapsed = time.Since(started)
+		}
 	}
-	elapsed := time.Since(t.started)
 
 	// Bind returned values to written versions (in parameter order).
 	if err == nil && len(vals) != len(t.writes) {
@@ -420,8 +397,7 @@ func (rt *Runtime) execute(t *rtTask, node *resources.Node, args []any, depErr e
 			ErrArity, t.def.Name, len(vals), len(t.writes))
 	}
 
-	node.Release(t.def.Constraints)
-
+	// Values must be visible before the engine releases dependents.
 	rt.mu.Lock()
 	for i, w := range t.writes {
 		if err != nil {
@@ -429,64 +405,49 @@ func (rt *Runtime) execute(t *rtTask, node *resources.Node, args []any, depErr e
 			continue
 		}
 		rt.values[w] = versionSlot{val: vals[i]}
-		if rt.cfg.Locations != nil {
-			rt.cfg.Locations.AddReplica(transfer.KeyOf(w), node.Name())
-		}
 		if rt.cfg.Provenance != nil {
 			inputs := make([]string, 0, len(t.reads))
 			for _, r := range t.reads {
 				inputs = append(inputs, trace.VersionKey(int64(r.Data), r.Ver))
 			}
-			rt.cfg.Provenance.RecordProduction(trace.VersionKey(int64(w.Data), w.Ver), t.id, inputs)
+			rt.cfg.Provenance.RecordProduction(trace.VersionKey(int64(w.Data), w.Ver), t.et.ID, inputs)
 		}
 	}
+	rt.mu.Unlock()
 	if rt.cfg.Predictor != nil && err == nil {
 		rt.cfg.Predictor.Observe(t.def.Name, 0, elapsed)
 	}
-	for _, dep := range t.dependents {
-		dt := rt.tasks[dep]
-		dt.waitCount--
-		if dt.waitCount == 0 {
-			rt.ready = append(rt.ready, dep)
-		}
-	}
-	t.finished = true
-	rt.inflight--
-	rt.mu.Unlock()
 
+	// The engine releases the reservation, registers output replicas,
+	// frees every dependent under one lock acquisition, and immediately
+	// runs the next placement wave.
+	rt.eng.CompleteSchedule(t.et.ID, epoch, err != nil)
+
+	t.params = nil // consumed by materialisation; drop for the GC
 	t.future.vals = vals
 	t.future.err = err
 	close(t.future.done)
-	kind := trace.TaskCompleted
-	if err != nil {
-		kind = trace.TaskFailed
-	}
-	rt.cfg.Tracer.Record(trace.Event{At: rt.now(), Kind: kind, Task: t.id, Node: node.Name()})
-	rt.nudge()
 }
 
 // WaitOn synchronises on the newest version of a handle and returns its
 // value — PyCOMPSs' compss_wait_on.
 func (rt *Runtime) WaitOn(h *Handle) (any, error) {
+	// rt.mu serialises the version + producer lookup with Submit (which
+	// holds rt.mu from access registration through engine.Add), so a
+	// version can never be current without its producer being findable.
 	rt.mu.Lock()
 	ver := rt.proc.CurrentVersion(h.id)
-	// Find the task that writes this version (if any) and wait for it.
-	var producer *rtTask
-	for _, t := range rt.tasks {
-		for _, w := range t.writes {
-			if w == ver {
-				producer = t
-				break
+	var fut *Future
+	if id, ok := rt.eng.Producer(transfer.KeyOf(ver)); ok {
+		if et, found := rt.eng.Task(id); found {
+			if t, isTask := et.Payload.(*rtTask); isTask {
+				fut = t.future
 			}
-		}
-		if producer != nil {
-			break
 		}
 	}
 	rt.mu.Unlock()
-
-	if producer != nil {
-		if _, err := producer.future.Wait(); err != nil {
+	if fut != nil {
+		if _, err := fut.Wait(); err != nil {
 			return nil, err
 		}
 	}
@@ -499,14 +460,12 @@ func (rt *Runtime) WaitOn(h *Handle) (any, error) {
 // Barrier blocks until every submitted task has finished.
 func (rt *Runtime) Barrier() {
 	for {
-		rt.mu.Lock()
 		var pending []*Future
-		for _, t := range rt.tasks {
-			if !t.future.Done() {
+		rt.eng.Each(func(et *engine.Task) {
+			if t, ok := et.Payload.(*rtTask); ok && !t.future.Done() {
 				pending = append(pending, t.future)
 			}
-		}
-		rt.mu.Unlock()
+		})
 		if len(pending) == 0 {
 			return
 		}
@@ -529,6 +488,10 @@ func (rt *Runtime) Stats() Stats {
 	return Stats{Submitted: int(rt.nextTask), DepsEdges: rt.proc.Stats()}
 }
 
+// EngineStats exposes the shared scheduling engine's counters (launches,
+// transfer accounting) — comparable one-to-one with the simulator's.
+func (rt *Runtime) EngineStats() engine.Stats { return rt.eng.Stats() }
+
 // Pool exposes the node pool (for agents that add/remove resources at
 // execution time, paper Sec. VI-B).
 func (rt *Runtime) Pool() *resources.Pool { return rt.cfg.Pool }
@@ -538,13 +501,13 @@ func (rt *Runtime) CurrentVersion(h *Handle) deps.Version {
 	return rt.proc.CurrentVersion(h.id)
 }
 
-// Shutdown drains running tasks and stops the dispatcher. Pending-but-
-// unstarted tasks still run; new submissions fail with ErrShutdown.
+// Shutdown drains running tasks. Pending-but-unstarted tasks still run;
+// new submissions fail with ErrShutdown.
 func (rt *Runtime) Shutdown() {
 	rt.mu.Lock()
 	if rt.stopped {
 		rt.mu.Unlock()
-		<-rt.done
+		rt.wg.Wait()
 		return
 	}
 	rt.stopped = true
@@ -552,6 +515,4 @@ func (rt *Runtime) Shutdown() {
 
 	rt.Barrier()
 	rt.wg.Wait()
-	close(rt.quit)
-	<-rt.done
 }

@@ -208,7 +208,35 @@ func (p *Processor) CurrentVersion(d DataID) Version {
 func (p *Processor) Register(task TaskID, accesses []Access) Result {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.registerLocked(task, accesses)
+}
 
+// TaskAccesses pairs a task with its declared accesses, for batch
+// registration.
+type TaskAccesses struct {
+	Task     TaskID
+	Accesses []Access
+}
+
+// RegisterBatch registers several tasks under a single lock acquisition,
+// in slice order, and returns one Result per task. Registering a whole
+// workflow this way costs one lock round-trip instead of one per task,
+// which matters when simulations build million-task graphs.
+func (p *Processor) RegisterBatch(batch []TaskAccesses) []Result {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Result, len(batch))
+	for i, b := range batch {
+		out[i] = p.registerLocked(b.Task, b.Accesses)
+	}
+	return out
+}
+
+// registerLocked is Register with p.mu held.
+func (p *Processor) registerLocked(task TaskID, accesses []Access) Result {
+	if len(accesses) == 0 {
+		return Result{}
+	}
 	depSet := make(map[TaskID]struct{})
 	var res Result
 

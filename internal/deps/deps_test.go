@@ -261,3 +261,45 @@ func TestMergeAccesses(t *testing.T) {
 		})
 	}
 }
+
+func TestRegisterBatchMatchesSequentialRegister(t *testing.T) {
+	accesses := [][]Access{
+		{{Data: 1, Dir: Out}},
+		{{Data: 1, Dir: In}, {Data: 2, Dir: Out}},
+		{{Data: 1, Dir: InOut}},
+		{{Data: 2, Dir: In}, {Data: 1, Dir: In}},
+		nil, // access-free tasks are valid
+	}
+
+	seq := NewProcessor()
+	var want []Result
+	for i, acc := range accesses {
+		want = append(want, seq.Register(TaskID(i), acc))
+	}
+
+	batched := NewProcessor()
+	batch := make([]TaskAccesses, len(accesses))
+	for i, acc := range accesses {
+		batch[i] = TaskAccesses{Task: TaskID(i), Accesses: acc}
+	}
+	got := batched.RegisterBatch(batch)
+
+	if len(got) != len(want) {
+		t.Fatalf("results = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i].Deps) != len(want[i].Deps) ||
+			len(got[i].Reads) != len(want[i].Reads) ||
+			len(got[i].Writes) != len(want[i].Writes) {
+			t.Fatalf("task %d: batch %+v != sequential %+v", i, got[i], want[i])
+		}
+		for j := range want[i].Deps {
+			if got[i].Deps[j] != want[i].Deps[j] {
+				t.Fatalf("task %d deps: %v != %v", i, got[i].Deps, want[i].Deps)
+			}
+		}
+	}
+	if batched.Stats() != seq.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", batched.Stats(), seq.Stats())
+	}
+}

@@ -1,0 +1,747 @@
+// Package engine is the backend-agnostic scheduling engine shared by the
+// live runtime (internal/core) and the virtual-time simulator
+// (internal/infra). The paper's central claim is that one task-based
+// runtime — graph construction, dependency-aware scheduling, data
+// transfers — serves every tier of the computing continuum (Sec. VI-A);
+// this package is that single runtime core. Both backends delegate their
+// ready-queue, placement loop, dependency release, recovery resubmission
+// and transfer accounting here, parameterised by two small interfaces: a
+// Clock (wall time vs internal/simclock) and an Executor (goroutine
+// workers vs duration-modelled completion events).
+//
+// The engine is built for scale: the ready set is sharded into
+// per-constraint-signature buckets, so a scheduling wave inspects one
+// queue head per signature instead of rescanning every queued task
+// (O(placements × signatures) rather than O(ready × nodes)), and a
+// completing task releases all of its successors under a single lock
+// acquisition.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/deps"
+	"repro/internal/resources"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+	"repro/internal/transfer"
+)
+
+// Clock reports the current time as an offset from the run's epoch. The
+// live runtime passes wall time elapsed since start; the simulator passes
+// its virtual clock.
+type Clock interface {
+	Now() time.Duration
+}
+
+// WallClock is the Clock of the live runtime: elapsed real time since
+// Epoch.
+type WallClock struct {
+	Epoch time.Time
+}
+
+// Now implements Clock.
+func (w WallClock) Now() time.Duration { return time.Since(w.Epoch) }
+
+// Placement describes one launched task: the reserved node group (primary
+// first) and the staging cost already accounted by the engine.
+type Placement struct {
+	// Task is the placed task.
+	Task *Task
+	// Nodes is the reserved group (≥ 1 entries; index 0 is the primary,
+	// chosen by the policy).
+	Nodes []*resources.Node
+	// Epoch snapshots the task's placement counter; pass it back to
+	// Complete so completions cancelled by a failure are ignored.
+	Epoch int
+	// TransferTime is the modelled input-staging time (zero unless the
+	// engine was configured with a Registry and Net).
+	TransferTime time.Duration
+}
+
+// Primary returns the policy-chosen node of the group.
+func (p Placement) Primary() *resources.Node { return p.Nodes[0] }
+
+// Executor starts execution of placed tasks. The live runtime spawns a
+// goroutine per placement; the simulator schedules a completion event on
+// its virtual clock. Every launch must eventually be answered by a call
+// to Engine.Complete (or be invalidated through KillRunningOn).
+type Executor interface {
+	// Launch starts p. It is called while the engine's launch batch is
+	// being drained (the task-state lock is not held), so it may inspect
+	// the engine, but it must not call Schedule or CompleteSchedule
+	// synchronously — hand completions back from another goroutine, a
+	// clock event, or an outer driver loop instead.
+	Launch(p Placement)
+}
+
+// State is the lifecycle of a task inside the engine.
+type State int
+
+// Task states.
+const (
+	// Pending tasks wait for dependencies (or a hold release).
+	Pending State = iota + 1
+	// Ready tasks sit in a signature bucket awaiting placement.
+	Ready
+	// Running tasks hold node reservations.
+	Running
+	// Done tasks have completed at least once.
+	Done
+)
+
+// Task is one schedulable unit. The exported fields are set by the
+// backend before Add and read-only afterwards; the engine owns the rest.
+type Task struct {
+	// ID is the graph-unique task ID.
+	ID int64
+	// Class names the task type (policy/predictor key, trace label).
+	Class string
+	// Constraints are the placement requirements.
+	Constraints resources.Constraints
+	// EstDuration is the declared base duration (0 if unknown).
+	EstDuration time.Duration
+	// InputKeys are the data versions the task reads.
+	InputKeys []transfer.Key
+	// InputBytes is the total input size (predictor covariate).
+	InputBytes int64
+	// OutputKeys are the data versions the task produces; the engine
+	// registers them as replicas on the primary node at completion.
+	OutputKeys []transfer.Key
+	// Payload carries backend-specific state (e.g. the future, the spec).
+	Payload any
+
+	sig        string
+	prio       float64
+	state      State
+	waitCount  int
+	dependents []int64
+	redeps     map[int64]struct{} // recovery waiters (lazily allocated)
+	completed  bool               // completed at least once
+	epoch      int                // placement counter
+	nodes      []string           // reserved node names while Running
+	started    time.Duration
+}
+
+// Config assembles an engine.
+type Config struct {
+	// Pool is the node set placements draw from. Required.
+	Pool *resources.Pool
+	// Policy places ready tasks. Required.
+	Policy sched.Policy
+	// Clock timestamps trace events and task starts. Required.
+	Clock Clock
+	// Executor runs placed tasks. Required.
+	Executor Executor
+	// Registry, when set, receives a replica of every task output on its
+	// primary node (the locality information source). Optional.
+	Registry *transfer.Registry
+	// Net, when set together with Registry, makes the engine stage each
+	// placed task's inputs onto the primary node and account the moved
+	// bytes and modelled transfer time. Optional.
+	Net *simnet.Network
+	// PersistNode, when non-empty, receives a replica of every output —
+	// the dataClay persistence tier that makes recovery cheap.
+	PersistNode string
+	// Tracer, when set, receives TaskStarted / TaskCompleted /
+	// TaskFailed / DataTransfer / DataPersisted events.
+	Tracer *trace.Tracer
+	// SchedContext is handed to the policy on every decision. Optional.
+	SchedContext *sched.Context
+}
+
+// Stats counts engine activity since creation.
+type Stats struct {
+	// Launched counts task launches (re-executions count again).
+	Launched int
+	// Completed counts live completions.
+	Completed int
+	// Reexecuted counts recovery re-runs of already-completed tasks.
+	Reexecuted int
+	// Transfers counts planned input fetches (replica-miss moves).
+	Transfers int
+	// BytesMoved totals the payload of those fetches.
+	BytesMoved int64
+	// TransferTime sums the modelled staging time on task critical paths.
+	TransferTime time.Duration
+}
+
+// Completion reports the outcome of a live Complete call.
+type Completion struct {
+	// Task is the completed task.
+	Task *Task
+	// Nodes are the group members still in the pool, resolved for the
+	// caller's accounting (energy, predictor).
+	Nodes []*resources.Node
+	// Ran is the clock time since the task's launch.
+	Ran time.Duration
+	// First reports whether this was the task's first completion (false
+	// for recovery re-executions).
+	First bool
+}
+
+// Engine is the shared scheduling core. All methods are safe for
+// concurrent use; scheduling decisions are serialised by an internal
+// mutex, like the single-threaded Task Scheduler component of COMPSs.
+type Engine struct {
+	cfg  Config
+	mgr  *transfer.Manager // nil unless Registry and Net are both set
+	prio sched.Prioritizer // non-nil when the policy ranks ready tasks
+
+	mu    sync.Mutex
+	tasks map[int64]*Task
+	order []int64 // insertion order (deterministic iteration)
+	// The ready set is one FIFO per constraint signature: placeability
+	// depends only on the signature, so a scheduling wave touches each
+	// signature's head instead of rescanning every queued task.
+	ready    map[string]*bucket
+	sigs     []*bucket // sorted by signature (deterministic iteration)
+	readyN   int
+	wave     int                    // placement-wave counter (bucket blocking)
+	producer map[transfer.Key]int64 // which task writes each version
+	stats    Stats
+	view     sched.TaskView // scratch view (guarded by mu; never retained)
+
+	launchMu sync.Mutex  // serialises launch batches (not held with mu)
+	launch   []Placement // scratch batch (guarded by launchMu)
+}
+
+// bucket is one signature's ready FIFO. blocked marks the wave in which
+// the head failed to place, parking the whole bucket for that wave.
+type bucket struct {
+	sig     string
+	q       []int64
+	blocked int
+}
+
+// New returns an engine over the given configuration. Pool, Policy,
+// Clock and Executor are required; New panics if any is missing, since
+// that is a programming error in the backend, not a runtime condition.
+func New(cfg Config) *Engine {
+	if cfg.Pool == nil || cfg.Policy == nil || cfg.Clock == nil || cfg.Executor == nil {
+		panic("engine: Pool, Policy, Clock and Executor are required")
+	}
+	e := &Engine{
+		cfg:      cfg,
+		tasks:    make(map[int64]*Task),
+		ready:    make(map[string]*bucket),
+		producer: make(map[transfer.Key]int64),
+	}
+	if p, ok := cfg.Policy.(sched.Prioritizer); ok {
+		e.prio = p
+	}
+	if cfg.Registry != nil && cfg.Net != nil {
+		e.mgr = transfer.NewManager(cfg.Net, cfg.Registry)
+	}
+	return e
+}
+
+// Task returns a registered task by ID.
+func (e *Engine) Task(id int64) (*Task, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tasks[id]
+	return t, ok
+}
+
+// Producer returns the ID of the task that writes the given data version.
+func (e *Engine) Producer(k transfer.Key) (int64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id, ok := e.producer[k]
+	return id, ok
+}
+
+// Each visits every registered task in registration order, under the
+// engine lock: fn must be quick, must not retain the task, and must not
+// call back into the engine.
+func (e *Engine) Each(fn func(*Task)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, id := range e.order {
+		fn(e.tasks[id])
+	}
+}
+
+// ReadyCount returns the number of queued ready tasks (the elasticity
+// managers' pending-load signal).
+func (e *Engine) ReadyCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.readyN
+}
+
+// Stats returns activity counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Add registers a task. producers lists the tasks it must wait for (from
+// the access processor); producers already completed — or unknown to the
+// engine — count as satisfied. holds adds synthetic dependencies cleared
+// later through ReleaseHold (delayed-release arrivals). Add does not
+// trigger placement — it reports whether the task went straight to the
+// ready queue, so the caller knows whether a Schedule is worthwhile.
+func (e *Engine) Add(t *Task, producers []deps.TaskID, holds int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t.sig = t.Constraints.Signature()
+	t.state = Pending
+	for _, d := range producers {
+		if p, ok := e.tasks[int64(d)]; ok && !p.completed {
+			p.dependents = append(p.dependents, t.ID)
+			t.waitCount++
+		}
+	}
+	t.waitCount += holds
+	for _, k := range t.OutputKeys {
+		e.producer[k] = t.ID
+	}
+	e.tasks[t.ID] = t
+	e.order = append(e.order, t.ID)
+	if t.waitCount == 0 {
+		t.state = Ready
+		e.pushReadyLocked(t)
+		return true
+	}
+	return false
+}
+
+// ReleaseHold clears one synthetic dependency of a pending task and
+// reports whether the task became ready (in which case the caller should
+// Schedule).
+func (e *Engine) ReleaseHold(id int64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tasks[id]
+	if !ok {
+		return false
+	}
+	t.waitCount--
+	if t.waitCount == 0 && t.state == Pending {
+		t.state = Ready
+		e.pushReadyLocked(t)
+		return true
+	}
+	return false
+}
+
+// pushReadyLocked inserts a ready task into its signature bucket, keeping
+// the bucket ordered by (priority desc, ID asc). Priority is evaluated
+// once, at push time (for prioritising policies).
+func (e *Engine) pushReadyLocked(t *Task) {
+	if e.prio != nil {
+		t.prio = e.prio.Priority(e.viewLocked(t), e.cfg.SchedContext)
+	}
+	b, exists := e.ready[t.sig]
+	if !exists {
+		b = &bucket{sig: t.sig}
+		e.ready[t.sig] = b
+		pos := sort.Search(len(e.sigs), func(i int) bool { return e.sigs[i].sig >= t.sig })
+		e.sigs = append(e.sigs, nil)
+		copy(e.sigs[pos+1:], e.sigs[pos:])
+		e.sigs[pos] = b
+	}
+	// Binary insert; the common case (ascending IDs, equal priority)
+	// appends at the end in O(1).
+	at := sort.Search(len(b.q), func(i int) bool { return headLess(t, e.tasks[b.q[i]]) })
+	b.q = append(b.q, 0)
+	copy(b.q[at+1:], b.q[at:])
+	b.q[at] = t.ID
+	e.readyN++
+}
+
+// headLess orders bucket heads: multi-node first, then higher priority,
+// then lower ID.
+func headLess(a, b *Task) bool {
+	an, bn := a.Constraints.EffectiveNodes(), b.Constraints.EffectiveNodes()
+	if an != bn {
+		return an > bn
+	}
+	if a.prio != b.prio {
+		return a.prio > b.prio
+	}
+	return a.ID < b.ID
+}
+
+// viewLocked fills the scratch scheduler-facing summary of a task. The
+// returned pointer is only valid until the next call; policies read it
+// during the decision and never retain it.
+func (e *Engine) viewLocked(t *Task) *sched.TaskView {
+	e.view = sched.TaskView{
+		ID:          t.ID,
+		Class:       t.Class,
+		Constraints: t.Constraints,
+		EstDuration: t.EstDuration,
+		InputKeys:   t.InputKeys,
+		InputBytes:  t.InputBytes,
+	}
+	return &e.view
+}
+
+// Schedule runs one placement wave: best queue head first, until every
+// signature is blocked or the buckets drain. Executor.Launch is invoked
+// after the engine lock is released, in placement order.
+func (e *Engine) Schedule() {
+	e.launchMu.Lock()
+	e.mu.Lock()
+	e.launch = e.placeWaveLocked(e.launch[:0])
+	e.mu.Unlock()
+	for _, p := range e.launch {
+		e.cfg.Executor.Launch(p)
+	}
+	e.launchMu.Unlock()
+}
+
+// placeWaveLocked is the placement loop, appending into placed. A head
+// that cannot be placed blocks its whole signature for the rest of the
+// wave: placeability depends only on the constraint signature, so its
+// siblings cannot be placed either.
+func (e *Engine) placeWaveLocked(placed []Placement) []Placement {
+	if e.readyN == 0 {
+		return placed
+	}
+	e.wave++
+	for {
+		var bestB *bucket
+		var best *Task
+		for _, b := range e.sigs {
+			if b.blocked == e.wave || len(b.q) == 0 {
+				continue
+			}
+			t := e.tasks[b.q[0]]
+			if best == nil || headLess(t, best) {
+				bestB, best = b, t
+			}
+		}
+		if best == nil {
+			return placed
+		}
+		p, ok := e.placeLocked(best)
+		if !ok {
+			bestB.blocked = e.wave
+			continue
+		}
+		placed = append(placed, p)
+		bestB.q = bestB.q[1:]
+		e.readyN--
+	}
+}
+
+// placeLocked tries to start one task now: policy choice, group
+// reservation, input staging. It reports success.
+func (e *Engine) placeLocked(t *Task) (Placement, bool) {
+	fitting := e.cfg.Pool.Fitting(t.Constraints)
+	wantNodes := t.Constraints.EffectiveNodes()
+	if len(fitting) < wantNodes {
+		return Placement{}, false
+	}
+	primary := e.cfg.Policy.Pick(e.viewLocked(t), fitting, e.cfg.SchedContext)
+	if primary == nil {
+		return Placement{}, false
+	}
+	group := []*resources.Node{primary}
+	for _, n := range fitting {
+		if len(group) == wantNodes {
+			break
+		}
+		if n != primary {
+			group = append(group, n)
+		}
+	}
+	if len(group) < wantNodes {
+		return Placement{}, false
+	}
+	for i, n := range group {
+		if err := n.Reserve(t.Constraints); err != nil {
+			for _, done := range group[:i] {
+				done.Release(t.Constraints)
+			}
+			return Placement{}, false
+		}
+	}
+
+	// Stage inputs onto the primary node. Inputs with no replica anywhere
+	// are left to the recovery path (resubmitted producers run before
+	// their dependents become ready), so they cost nothing here.
+	var staging time.Duration
+	if e.mgr != nil {
+		plan := e.mgr.PlanFetch(primary.Name(), t.InputKeys)
+		e.mgr.Apply(plan)
+		staging = plan.Time
+		e.stats.Transfers += len(plan.Moves)
+		e.stats.BytesMoved += plan.Bytes
+		e.stats.TransferTime += plan.Time
+		if plan.Bytes > 0 && e.cfg.Tracer != nil {
+			e.cfg.Tracer.Record(trace.Event{
+				At: e.cfg.Clock.Now(), Kind: trace.DataTransfer, Task: t.ID,
+				Node: primary.Name(), Info: fmt.Sprintf("%dB", plan.Bytes),
+			})
+		}
+	}
+
+	t.state = Running
+	t.started = e.cfg.Clock.Now()
+	t.epoch++
+	t.nodes = make([]string, len(group))
+	for i, n := range group {
+		t.nodes[i] = n.Name()
+	}
+	e.stats.Launched++
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Record(trace.Event{
+			At: e.cfg.Clock.Now(), Kind: trace.TaskStarted, Task: t.ID,
+			Node: primary.Name(), Info: t.Class,
+		})
+	}
+	return Placement{Task: t, Nodes: group, Epoch: t.epoch, TransferTime: staging}, true
+}
+
+// Complete finishes a running task: reservations are released, outputs
+// are registered on the primary node (and the persistence tier), and — in
+// one lock acquisition — every successor is released, with the newly
+// ready ones pushed into their buckets. Stale completions (epoch mismatch
+// after a failure) report ok = false and have no effect. failed marks the
+// execution as errored: outputs are not registered and the trace records
+// TaskFailed. The caller should Schedule afterwards.
+func (e *Engine) Complete(id int64, epoch int, failed bool) (Completion, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.completeLocked(id, epoch, failed)
+}
+
+// CompleteSchedule is Complete immediately followed by a placement wave,
+// sharing one lock acquisition — the completion fast path for backends
+// that do not coalesce waves.
+func (e *Engine) CompleteSchedule(id int64, epoch int, failed bool) (Completion, bool) {
+	e.launchMu.Lock()
+	e.mu.Lock()
+	c, ok := e.completeLocked(id, epoch, failed)
+	e.launch = e.placeWaveLocked(e.launch[:0])
+	e.mu.Unlock()
+	for _, p := range e.launch {
+		e.cfg.Executor.Launch(p)
+	}
+	e.launchMu.Unlock()
+	return c, ok
+}
+
+func (e *Engine) completeLocked(id int64, epoch int, failed bool) (Completion, bool) {
+	t, ok := e.tasks[id]
+	if !ok || t.state != Running || t.epoch != epoch {
+		return Completion{}, false
+	}
+	c := Completion{Task: t, Ran: e.cfg.Clock.Now() - t.started}
+	primary := t.nodes[0]
+	c.Nodes = make([]*resources.Node, 0, len(t.nodes))
+	for _, name := range t.nodes {
+		if n, ok := e.cfg.Pool.Get(name); ok {
+			n.Release(t.Constraints)
+			c.Nodes = append(c.Nodes, n)
+		}
+	}
+	if !failed && e.cfg.Registry != nil {
+		for _, k := range t.OutputKeys {
+			e.cfg.Registry.AddReplica(k, primary)
+			if e.cfg.PersistNode != "" && e.cfg.PersistNode != primary {
+				e.cfg.Registry.AddReplica(k, e.cfg.PersistNode)
+				if e.cfg.Tracer != nil {
+					e.cfg.Tracer.Record(trace.Event{
+						At: e.cfg.Clock.Now(), Kind: trace.DataPersisted, Task: id, Node: e.cfg.PersistNode,
+					})
+				}
+			}
+		}
+	}
+	if e.cfg.Tracer != nil {
+		kind := trace.TaskCompleted
+		if failed {
+			kind = trace.TaskFailed
+		}
+		e.cfg.Tracer.Record(trace.Event{At: e.cfg.Clock.Now(), Kind: kind, Task: id, Node: primary})
+	}
+	e.stats.Completed++
+
+	c.First = !t.completed
+	t.completed = true
+	t.state = Done
+	t.nodes = nil
+
+	// Batched dependency release: every successor is decremented under
+	// this single lock acquisition. The edge list is consumed — releases
+	// happen once — so it is dropped to keep long-lived graphs lean.
+	if c.First {
+		for _, dep := range t.dependents {
+			dt := e.tasks[dep]
+			dt.waitCount--
+			if dt.waitCount == 0 && dt.state == Pending {
+				dt.state = Ready
+				e.pushReadyLocked(dt)
+			}
+		}
+		t.dependents = nil
+	} else {
+		e.stats.Reexecuted++
+	}
+	if e.cfg.Registry == nil {
+		// Without a replica registry there is no recovery resubmission,
+		// so a done task's access keys are dead weight.
+		t.InputKeys = nil
+		t.OutputKeys = nil
+	}
+	// Wake tasks waiting on this re-execution (recovery).
+	for dep := range t.redeps {
+		dt := e.tasks[dep]
+		dt.waitCount--
+		if dt.waitCount == 0 && dt.state == Pending {
+			dt.state = Ready
+			e.pushReadyLocked(dt)
+		}
+	}
+	t.redeps = nil
+	return c, true
+}
+
+// KillRunningOn invalidates every running task that reserved the named
+// node (which the caller has already removed from the pool): reservations
+// on surviving group members are released, the pending completion event
+// is invalidated through the epoch, and the task returns to Pending with
+// no waits — ready for Resubmit. The killed tasks are returned in
+// registration order.
+func (e *Engine) KillRunningOn(name string) []*Task {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var killed []*Task
+	for _, id := range e.order {
+		t := e.tasks[id]
+		if t.state != Running {
+			continue
+		}
+		uses := false
+		for _, n := range t.nodes {
+			if n == name {
+				uses = true
+				break
+			}
+		}
+		if !uses {
+			continue
+		}
+		for _, n := range t.nodes {
+			if n == name {
+				continue
+			}
+			if node, ok := e.cfg.Pool.Get(n); ok {
+				node.Release(t.Constraints)
+			}
+		}
+		t.nodes = nil
+		t.state = Pending
+		t.waitCount = 0
+		t.epoch++ // invalidate the in-flight completion event
+		killed = append(killed, t)
+	}
+	return killed
+}
+
+// DropReadyMissingInputs removes from the buckets every ready task that
+// has an input version with no replica left but a known producer (data
+// lost to a node failure), returning them reset to Pending so the caller
+// can Resubmit each. Tasks whose missing inputs have no producer are left
+// queued: the data was external and nothing can recompute it.
+func (e *Engine) DropReadyMissingInputs() []*Task {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cfg.Registry == nil {
+		return nil
+	}
+	var dropped []*Task
+	for _, b := range e.sigs {
+		still := b.q[:0]
+		for _, id := range b.q {
+			t := e.tasks[id]
+			if e.missingProducerLocked(t) {
+				t.state = Pending
+				t.waitCount = 0
+				e.readyN--
+				dropped = append(dropped, t)
+				continue
+			}
+			still = append(still, id)
+		}
+		b.q = still
+	}
+	return dropped
+}
+
+// missingProducerLocked reports whether t reads a version that lost every
+// replica and has a registered producer to recompute it.
+func (e *Engine) missingProducerLocked(t *Task) bool {
+	for _, k := range t.InputKeys {
+		if len(e.cfg.Registry.Where(k)) > 0 {
+			continue
+		}
+		if _, ok := e.producer[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Resubmit queues a task for (re-)execution, recursively resubmitting the
+// producers of any input versions that lost every replica — the recompute-
+// lineage recovery path. Tasks that are already queued or running are left
+// alone. The caller should Schedule afterwards.
+func (e *Engine) Resubmit(id int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.resubmitLocked(id)
+}
+
+func (e *Engine) resubmitLocked(id int64) {
+	t, ok := e.tasks[id]
+	if !ok {
+		return
+	}
+	switch t.state {
+	case Ready, Running:
+		return
+	case Pending:
+		if t.waitCount > 0 {
+			return // already mid-resubmission (or waiting on live deps)
+		}
+	case Done:
+		t.state = Pending
+		t.waitCount = 0
+	}
+	waits := 0
+	for _, k := range t.InputKeys {
+		if e.cfg.Registry == nil || len(e.cfg.Registry.Where(k)) > 0 {
+			continue
+		}
+		p, ok := e.producer[k]
+		if !ok {
+			continue // external data lost for good; nothing to recompute
+		}
+		pt := e.tasks[p]
+		if _, dup := pt.redeps[id]; !dup {
+			if pt.redeps == nil {
+				pt.redeps = make(map[int64]struct{})
+			}
+			pt.redeps[id] = struct{}{}
+			waits++
+		}
+		e.resubmitLocked(p)
+	}
+	t.waitCount += waits
+	if t.waitCount == 0 {
+		t.state = Ready
+		e.pushReadyLocked(t)
+	}
+}

@@ -1,0 +1,282 @@
+package engine_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/deps"
+	"repro/internal/engine"
+	"repro/internal/resources"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	"repro/internal/transfer"
+)
+
+// stubClock is a manual clock for engine-only tests.
+type stubClock struct{ now time.Duration }
+
+func (c *stubClock) Now() time.Duration { return c.now }
+
+// collectExec queues placements; tests drive completions explicitly.
+type collectExec struct{ queue []engine.Placement }
+
+func (x *collectExec) Launch(p engine.Placement) { x.queue = append(x.queue, p) }
+
+func (x *collectExec) pop() (engine.Placement, bool) {
+	if len(x.queue) == 0 {
+		return engine.Placement{}, false
+	}
+	p := x.queue[0]
+	x.queue = x.queue[1:]
+	return p, true
+}
+
+func pool(nodes, cores int) *resources.Pool {
+	p := resources.NewPool()
+	for i := 0; i < nodes; i++ {
+		_ = p.Add(resources.NewNode(string(rune('a'+i)), resources.Description{
+			Cores: cores, MemoryMB: 8000, SpeedFactor: 1,
+		}))
+	}
+	return p
+}
+
+func newEngine(t *testing.T, p *resources.Pool, reg *transfer.Registry) (*engine.Engine, *collectExec) {
+	t.Helper()
+	exec := &collectExec{}
+	cfg := engine.Config{
+		Pool:     p,
+		Policy:   sched.FIFO{},
+		Clock:    &stubClock{},
+		Executor: exec,
+		Registry: reg,
+	}
+	if reg != nil {
+		cfg.Net = simnet.New(simnet.Link{BandwidthMBps: 1000})
+	}
+	return engine.New(cfg), exec
+}
+
+func TestDependentsReleasedInOrder(t *testing.T) {
+	e, exec := newEngine(t, pool(1, 1), nil)
+	// 1 -> 2 -> 3 (producers passed explicitly, as the access processor
+	// would derive them).
+	e.Add(&engine.Task{ID: 1}, nil, 0)
+	e.Add(&engine.Task{ID: 2}, []deps.TaskID{1}, 0)
+	e.Add(&engine.Task{ID: 3}, []deps.TaskID{2}, 0)
+	e.Schedule()
+
+	var order []int64
+	for {
+		p, ok := exec.pop()
+		if !ok {
+			break
+		}
+		order = append(order, p.Task.ID)
+		if _, ok := e.Complete(p.Task.ID, p.Epoch, false); !ok {
+			t.Fatalf("completion of %d rejected", p.Task.ID)
+		}
+		e.Schedule()
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestLowestIDReadyRunsFirst(t *testing.T) {
+	e, exec := newEngine(t, pool(1, 1), nil)
+	for id := int64(5); id >= 1; id-- {
+		e.Add(&engine.Task{ID: id}, nil, 0)
+	}
+	e.Schedule()
+	var order []int64
+	for {
+		p, ok := exec.pop()
+		if !ok {
+			break
+		}
+		order = append(order, p.Task.ID)
+		e.Complete(p.Task.ID, p.Epoch, false)
+		e.Schedule()
+	}
+	for i, id := range order {
+		if id != int64(i+1) {
+			t.Fatalf("order = %v, want ascending IDs", order)
+		}
+	}
+}
+
+func TestHoldsDelayReadiness(t *testing.T) {
+	e, exec := newEngine(t, pool(1, 4), nil)
+	if ready := e.Add(&engine.Task{ID: 1}, nil, 1); ready {
+		t.Fatal("held task reported ready")
+	}
+	e.Schedule()
+	if len(exec.queue) != 0 {
+		t.Fatal("held task was placed")
+	}
+	if !e.ReleaseHold(1) {
+		t.Fatal("ReleaseHold did not ready the task")
+	}
+	e.Schedule()
+	if len(exec.queue) != 1 {
+		t.Fatal("released task was not placed")
+	}
+}
+
+func TestStaleCompletionIgnoredAfterKill(t *testing.T) {
+	p := pool(2, 1)
+	e, exec := newEngine(t, p, nil)
+	e.Add(&engine.Task{ID: 1}, nil, 0)
+	e.Schedule()
+	pl, ok := exec.pop()
+	if !ok {
+		t.Fatal("task not placed")
+	}
+	node := pl.Primary().Name()
+	_ = p.Remove(node)
+	killed := e.KillRunningOn(node)
+	if len(killed) != 1 || killed[0].ID != 1 {
+		t.Fatalf("killed = %v", killed)
+	}
+	if _, ok := e.Complete(1, pl.Epoch, false); ok {
+		t.Fatal("stale completion accepted after kill")
+	}
+	// Resubmit places it on the surviving node.
+	e.Resubmit(1)
+	e.Schedule()
+	pl2, ok := exec.pop()
+	if !ok {
+		t.Fatal("resubmitted task not placed")
+	}
+	if pl2.Primary().Name() == node {
+		t.Fatalf("placed on removed node %s", node)
+	}
+	if _, ok := e.Complete(1, pl2.Epoch, false); !ok {
+		t.Fatal("live completion rejected")
+	}
+}
+
+func TestResubmitRecomputesLostLineage(t *testing.T) {
+	p := pool(2, 2)
+	reg := transfer.NewRegistry()
+	e, exec := newEngine(t, p, reg)
+	k := transfer.Key{Data: 1, Ver: 1}
+	e.Add(&engine.Task{ID: 1, OutputKeys: []transfer.Key{k}}, nil, 0)
+	e.Add(&engine.Task{ID: 2, InputKeys: []transfer.Key{k}}, []deps.TaskID{1}, 0)
+	e.Schedule()
+
+	// Run the producer to completion.
+	pl, _ := exec.pop()
+	if pl.Task.ID != 1 {
+		t.Fatalf("first placement = %d, want 1", pl.Task.ID)
+	}
+	e.Complete(1, pl.Epoch, false)
+	if len(reg.Where(k)) == 0 {
+		t.Fatal("output replica not registered")
+	}
+
+	// Lose every replica of the producer's output, then resubmit the
+	// consumer: the engine must re-run the producer first.
+	reg.DropNode(pl.Primary().Name())
+	e.Schedule()
+	plc, _ := exec.pop() // consumer placement (already released)
+	if plc.Task.ID != 2 {
+		t.Fatalf("second placement = %d, want 2", plc.Task.ID)
+	}
+	// Kill the consumer's run so it can be resubmitted.
+	_ = p.Remove(plc.Primary().Name())
+	e.KillRunningOn(plc.Primary().Name())
+	e.Resubmit(2)
+	e.Schedule()
+
+	pl2, ok := exec.pop()
+	if !ok {
+		t.Fatal("nothing placed after resubmit")
+	}
+	if pl2.Task.ID != 1 {
+		t.Fatalf("resubmission order starts at %d, want producer 1", pl2.Task.ID)
+	}
+	c, _ := e.Complete(1, pl2.Epoch, false)
+	if c.First {
+		t.Fatal("producer re-run misreported as first completion")
+	}
+	e.Schedule()
+	pl3, ok := exec.pop()
+	if !ok || pl3.Task.ID != 2 {
+		t.Fatalf("consumer not re-placed after producer recompute: %+v", pl3)
+	}
+}
+
+func TestSignatureShardingBlocksOnlyOneBucket(t *testing.T) {
+	// One node: 4 cores, no GPU. GPU tasks can never run here; the small
+	// tasks behind them in a flat queue must still be placed.
+	p := resources.NewPool()
+	_ = p.Add(resources.NewNode("cpu", resources.Description{Cores: 4, MemoryMB: 8000, GPUs: 0, SpeedFactor: 1}))
+	_ = p.Add(resources.NewNode("gpu", resources.Description{Cores: 4, MemoryMB: 8000, GPUs: 1, SpeedFactor: 1}))
+	e, exec := newEngine(t, p, nil)
+	gpu := resources.Constraints{GPUs: 1}
+	// Two GPU tasks (only one fits at a time) ahead of four plain tasks.
+	e.Add(&engine.Task{ID: 1, Constraints: gpu}, nil, 0)
+	e.Add(&engine.Task{ID: 2, Constraints: gpu}, nil, 0)
+	for id := int64(3); id <= 6; id++ {
+		e.Add(&engine.Task{ID: id}, nil, 0)
+	}
+	e.Schedule()
+	// One GPU task runs; its sibling blocks that bucket only. All four
+	// plain tasks and the first GPU task are placed: 5 launches.
+	if len(exec.queue) != 5 {
+		ids := make([]int64, 0, len(exec.queue))
+		for _, pl := range exec.queue {
+			ids = append(ids, pl.Task.ID)
+		}
+		t.Fatalf("placed %v, want 5 placements (one GPU bucket blocked)", ids)
+	}
+}
+
+func TestMultiNodeGroupReservation(t *testing.T) {
+	p := pool(2, 4)
+	e, exec := newEngine(t, p, nil)
+	e.Add(&engine.Task{ID: 1, Constraints: resources.Constraints{Cores: 4, Nodes: 2}}, nil, 0)
+	e.Add(&engine.Task{ID: 2}, nil, 0)
+	e.Schedule()
+	if len(exec.queue) != 1 {
+		t.Fatalf("placements = %d, want 1 (MPI task holds both nodes)", len(exec.queue))
+	}
+	pl := exec.queue[0]
+	if pl.Task.ID != 1 || len(pl.Nodes) != 2 {
+		t.Fatalf("placement = task %d on %d nodes", pl.Task.ID, len(pl.Nodes))
+	}
+	exec.queue = nil
+	e.Complete(1, pl.Epoch, false)
+	e.Schedule()
+	if len(exec.queue) != 1 || exec.queue[0].Task.ID != 2 {
+		t.Fatal("serial task not placed after MPI group released")
+	}
+}
+
+func TestTransferAccounting(t *testing.T) {
+	p := pool(2, 1)
+	reg := transfer.NewRegistry()
+	e, exec := newEngine(t, p, reg)
+	k := transfer.Key{Data: 9, Ver: 0}
+	reg.SetSize(k, 1e6)
+	reg.AddReplica(k, "b")
+	// FIFO places on node "a"; the input lives on "b" ⇒ one move.
+	e.Add(&engine.Task{ID: 1, InputKeys: []transfer.Key{k}}, nil, 0)
+	e.Schedule()
+	pl, ok := exec.pop()
+	if !ok {
+		t.Fatal("not placed")
+	}
+	if pl.TransferTime <= 0 {
+		t.Fatal("staging time not modelled")
+	}
+	st := e.Stats()
+	if st.Transfers != 1 || st.BytesMoved != 1e6 {
+		t.Fatalf("stats = %+v, want 1 transfer of 1e6 bytes", st)
+	}
+	if !reg.HasReplica(k, "a") {
+		t.Fatal("staged replica not registered")
+	}
+}

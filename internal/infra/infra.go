@@ -1,12 +1,15 @@
 // Package infra simulates an advanced cyberinfrastructure platform — the
 // substitute for the paper's MareNostrum runs, cloud deployments and fog
-// testbeds (DESIGN.md §4). It is a discrete-event engine over virtual time
-// (internal/simclock): tasks declare data accesses, the access processor
-// derives the dependency graph, a pluggable scheduling policy places ready
-// tasks on nodes, transfers are priced by the network model, and energy is
-// integrated per node.
+// testbeds (DESIGN.md §4). It is a discrete-event backend over virtual time
+// (internal/simclock) of the shared scheduling engine (internal/engine):
+// tasks declare data accesses, the access processor derives the dependency
+// graph, and the engine's sharded ready-queue and placement loop — the very
+// same code the live runtime (internal/core) executes — place ready tasks
+// on nodes, price transfers through the network model, and release
+// dependents. This backend's Executor turns each placement into a
+// completion event on the virtual clock, and energy is integrated per node.
 //
-// The engine also models the paper's dynamic behaviours: elasticity
+// The simulator also models the paper's dynamic behaviours: elasticity
 // (Sec. VI-A), node failures with recovery through persisted data
 // (Sec. VI-B, experiment E7) and online learning of task durations
 // (Sec. VI-C, experiment E8).
@@ -15,11 +18,11 @@ package infra
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/deps"
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/mlpredict"
 	"repro/internal/resources"
 	"repro/internal/sched"
@@ -129,57 +132,27 @@ type Result struct {
 	DepEdges deps.Stats
 }
 
-// task states
-type taskState int
-
-const (
-	statePending taskState = iota + 1
-	stateReady
-	stateRunning
-	stateDone
-)
-
-type simTask struct {
-	spec       TaskSpec
-	sig        string  // cached constraint signature (placement blocking)
-	prio       float64 // priority at the time the task became ready
-	state      taskState
-	waitCount  int // unmet dependencies
-	dependents []int64
-	reads      []transfer.Key
-	writes     []transfer.Key
-	inBytes    int64
-	// running bookkeeping
-	nodes   []string // reserved nodes (≥1; >1 for MPI tasks)
-	started time.Duration
-	epoch   int // placement counter; invalidates stale completion events
-	// recovery bookkeeping
-	redeps    map[int64]struct{} // tasks waiting on this re-execution
-	completed bool               // has completed at least once
-}
-
 // Sim is one simulation instance. Build with New, then Run once.
 type Sim struct {
 	cfg   Config
 	clock *simclock.Clock
-	mgr   *transfer.Manager
+	reg   *transfer.Registry
 	acct  *energy.Accountant
 	proc  *deps.Processor
-	tasks map[int64]*simTask
-	order []int64
-	// The ready set is organised as one FIFO per constraint signature:
-	// placeability depends only on the signature, so a scheduling wave
-	// touches each signature's head instead of rescanning every queued
-	// task (O(placements × signatures) — essential at paper scale).
-	ready  map[string][]int64
-	sigs   []string // sorted signature list (deterministic iteration)
-	readyN int
-	result Result
+	eng   *engine.Engine
 
-	producer  map[transfer.Key]int64 // which task writes each version
-	nodeAdded map[string]time.Duration
-	remaining int
-	err       error
+	result        Result
+	releases      []release
+	nodeAdded     map[string]time.Duration
+	remaining     int
+	schedDeferred bool
+	err           error
+}
+
+// release delays a task's visibility to the scheduler.
+type release struct {
+	id int64
+	at time.Duration
 }
 
 // Errors reported by Run.
@@ -204,15 +177,27 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 	s := &Sim{
 		cfg:       cfg,
 		clock:     simclock.New(),
-		mgr:       transfer.NewManager(cfg.Net, transfer.NewRegistry()),
+		reg:       transfer.NewRegistry(),
 		acct:      energy.NewAccountant(),
 		proc:      deps.NewProcessor(procOpts...),
-		tasks:     make(map[int64]*simTask, len(specs)),
-		ready:     make(map[string][]int64),
-		producer:  make(map[transfer.Key]int64),
 		nodeAdded: make(map[string]time.Duration),
 		remaining: len(specs),
 	}
+	s.eng = engine.New(engine.Config{
+		Pool:        cfg.Pool,
+		Policy:      cfg.Policy,
+		Clock:       s.clock,
+		Executor:    &simExecutor{s},
+		Registry:    s.reg,
+		Net:         cfg.Net,
+		PersistNode: cfg.PersistNode,
+		Tracer:      cfg.Tracer,
+		SchedContext: &sched.Context{
+			Registry:  s.reg,
+			Net:       cfg.Net,
+			Predictor: cfg.Predictor,
+		},
+	})
 
 	// Stage in external data.
 	stageNode := cfg.StageInNode
@@ -223,57 +208,57 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 	}
 	for d, size := range cfg.StageIn {
 		k := transfer.Key{Data: d, Ver: 0}
-		s.mgr.Registry().SetSize(k, size)
+		s.reg.SetSize(k, size)
 		if nodes, ok := cfg.StageInNodes[d]; ok && len(nodes) > 0 {
 			for _, n := range nodes {
-				s.mgr.Registry().AddReplica(k, n)
+				s.reg.AddReplica(k, n)
 			}
 			continue
 		}
 		if stageNode != "" {
-			s.mgr.Registry().AddReplica(k, stageNode)
+			s.reg.AddReplica(k, stageNode)
 		}
 	}
 
-	// Register tasks through the access processor in slice order.
-	for _, spec := range specs {
-		if _, dup := s.tasks[spec.ID]; dup {
+	// Register the whole workflow through the access processor in slice
+	// order — one lock acquisition for the full graph.
+	batch := make([]deps.TaskAccesses, len(specs))
+	seen := make(map[int64]struct{}, len(specs))
+	for i, spec := range specs {
+		if _, dup := seen[spec.ID]; dup {
 			return nil, fmt.Errorf("%w: %d", ErrDuplicateID, spec.ID)
 		}
-		res := s.proc.Register(deps.TaskID(spec.ID), spec.Accesses)
-		t := &simTask{
-			spec:   spec,
-			sig:    constraintSig(spec.Constraints),
-			state:  statePending,
-			redeps: make(map[int64]struct{}),
+		seen[spec.ID] = struct{}{}
+		batch[i] = deps.TaskAccesses{Task: deps.TaskID(spec.ID), Accesses: spec.Accesses}
+	}
+	results := s.proc.RegisterBatch(batch)
+	for i, spec := range specs {
+		res := results[i]
+		et := &engine.Task{
+			ID:          spec.ID,
+			Class:       spec.Class,
+			Constraints: spec.Constraints,
+			EstDuration: spec.Duration,
 		}
 		for _, v := range res.Reads {
 			k := transfer.KeyOf(v)
-			t.reads = append(t.reads, k)
-			t.inBytes += s.mgr.Registry().Size(k)
+			et.InputKeys = append(et.InputKeys, k)
+			et.InputBytes += s.reg.Size(k)
 		}
 		for _, v := range res.Writes {
 			k := transfer.KeyOf(v)
-			t.writes = append(t.writes, k)
-			s.producer[k] = spec.ID
+			et.OutputKeys = append(et.OutputKeys, k)
 			if size, ok := spec.OutputBytes[v.Data]; ok {
-				s.mgr.Registry().SetSize(k, size)
+				s.reg.SetSize(k, size)
 			}
 		}
-		t.waitCount = len(res.Deps)
+		holds := 0
 		if spec.Release > 0 {
 			// One synthetic dependency cleared by a clock event.
-			t.waitCount++
+			holds = 1
+			s.releases = append(s.releases, release{id: spec.ID, at: spec.Release})
 		}
-		for _, d := range res.Deps {
-			s.tasks[int64(d)].dependents = append(s.tasks[int64(d)].dependents, spec.ID)
-		}
-		s.tasks[spec.ID] = t
-		s.order = append(s.order, spec.ID)
-		if t.waitCount == 0 {
-			t.state = stateReady
-			s.pushReady(spec.ID)
-		}
+		s.eng.Add(et, res.Deps, holds)
 	}
 
 	for _, n := range cfg.Pool.Nodes() {
@@ -282,13 +267,61 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 	return s, nil
 }
 
-// schedCtx builds the policy context.
-func (s *Sim) schedCtx() *sched.Context {
-	return &sched.Context{
-		Registry:  s.mgr.Registry(),
-		Net:       s.cfg.Net,
-		Predictor: s.cfg.Predictor,
+// simExecutor adapts the simulation to engine.Executor: each placement
+// becomes a completion event on the virtual clock, delayed by the modelled
+// staging time plus the speed-scaled compute time.
+type simExecutor struct{ s *Sim }
+
+// Launch implements engine.Executor.
+func (x *simExecutor) Launch(p engine.Placement) {
+	sf := p.Primary().Desc().SpeedFactor
+	if sf <= 0 {
+		sf = 1
 	}
+	run := time.Duration(float64(p.Task.EstDuration) / sf)
+	id, epoch := p.Task.ID, p.Epoch
+	x.s.clock.After(p.TransferTime+run, func() { x.s.finish(id, run, epoch) })
+}
+
+// finish handles one completion event. Stale events (from a placement
+// that a node failure cancelled) are rejected by the engine's epoch check.
+func (s *Sim) finish(id int64, ran time.Duration, epoch int) {
+	comp, ok := s.eng.Complete(id, epoch, false)
+	if !ok {
+		return
+	}
+	t := comp.Task
+	cores := t.Constraints.EffectiveCores()
+	for _, n := range comp.Nodes {
+		s.acct.AddTask(n.Name(), n.Desc(), cores, ran)
+		s.result.BusyCoreSeconds += float64(cores) * ran.Seconds()
+		if s.cfg.Predictor != nil {
+			// Observe the speed-normalised (reference) duration.
+			base := time.Duration(float64(ran) * n.Desc().SpeedFactor)
+			s.cfg.Predictor.Observe(t.Class, t.InputBytes, base)
+		}
+	}
+	s.result.TasksCompleted++
+	if comp.First {
+		s.remaining--
+	} else {
+		s.result.TasksReExecuted++
+	}
+	s.deferSchedule()
+}
+
+// deferSchedule coalesces scheduling: the first completion of a virtual
+// instant defers a single placement wave to the end of the instant, so a
+// batch of same-time completions is scheduled once instead of once each.
+func (s *Sim) deferSchedule() {
+	if s.schedDeferred {
+		return
+	}
+	s.schedDeferred = true
+	s.clock.Defer(func() {
+		s.schedDeferred = false
+		s.eng.Schedule()
+	})
 }
 
 // Run executes the simulation to completion and returns the result.
@@ -299,19 +332,11 @@ func (s *Sim) Run() (Result, error) {
 		s.clock.At(f.At, func() { s.failNode(f.Node) })
 	}
 	// Arm release events.
-	for _, id := range s.order {
-		t := s.tasks[id]
-		if t.spec.Release <= 0 {
-			continue
-		}
-		id := id
-		s.clock.At(t.spec.Release, func() {
-			rt := s.tasks[id]
-			rt.waitCount--
-			if rt.waitCount == 0 && rt.state == statePending {
-				rt.state = stateReady
-				s.pushReady(id)
-				s.trySchedule()
+	for _, r := range s.releases {
+		id := r.id
+		s.clock.At(r.at, func() {
+			if s.eng.ReleaseHold(id) {
+				s.eng.Schedule()
 			}
 		})
 	}
@@ -327,7 +352,7 @@ func (s *Sim) Run() (Result, error) {
 		s.clock.After(s.cfg.ElasticEvery, tick)
 	}
 
-	s.trySchedule()
+	s.eng.Schedule()
 	for s.remaining > 0 {
 		if !s.clock.Step() {
 			if s.err == nil {
@@ -339,9 +364,11 @@ func (s *Sim) Run() (Result, error) {
 			break
 		}
 	}
-	// Drain trailing events (e.g. elastic ticks) without advancing work.
 	s.result.Makespan = s.clock.Now()
 	s.result.DepEdges = s.proc.Stats()
+	st := s.eng.Stats()
+	s.result.BytesMoved = st.BytesMoved
+	s.result.TransferTime = st.TransferTime
 
 	// Close energy/idle accounting and node-seconds.
 	var capCoreSeconds float64
@@ -367,236 +394,6 @@ func (s *Sim) Run() (Result, error) {
 	return s.result, s.err
 }
 
-// trySchedule attempts to place ready tasks, best head first, until every
-// signature is blocked or the queues drain.
-func (s *Sim) trySchedule() {
-	if s.readyN == 0 {
-		return
-	}
-	blocked := make(map[string]struct{})
-	for {
-		bestSig := ""
-		var bestTask *simTask
-		for _, sig := range s.sigs {
-			if _, b := blocked[sig]; b {
-				continue
-			}
-			q := s.ready[sig]
-			if len(q) == 0 {
-				continue
-			}
-			t := s.tasks[q[0]]
-			if bestTask == nil || headLess(t, bestTask) {
-				bestSig, bestTask = sig, t
-			}
-		}
-		if bestTask == nil {
-			return
-		}
-		if !s.place(bestTask.spec.ID) {
-			blocked[bestSig] = struct{}{}
-			continue
-		}
-		s.ready[bestSig] = s.ready[bestSig][1:]
-		s.readyN--
-	}
-}
-
-// headLess orders queue heads: multi-node first, then higher priority,
-// then lower ID.
-func headLess(a, b *simTask) bool {
-	an, bn := a.spec.Constraints.EffectiveNodes(), b.spec.Constraints.EffectiveNodes()
-	if an != bn {
-		return an > bn
-	}
-	if a.prio != b.prio {
-		return a.prio > b.prio
-	}
-	return a.spec.ID < b.spec.ID
-}
-
-// pushReady inserts a task into its signature queue, keeping the queue
-// ordered by (priority desc, ID asc). The priority is evaluated once, at
-// push time (for prioritising policies).
-func (s *Sim) pushReady(id int64) {
-	t := s.tasks[id]
-	if p, ok := s.cfg.Policy.(sched.Prioritizer); ok {
-		t.prio = p.Priority(&sched.TaskView{
-			ID: id, Class: t.spec.Class, Constraints: t.spec.Constraints,
-			EstDuration: t.spec.Duration, InputKeys: t.reads, InputBytes: t.inBytes,
-		}, s.schedCtx())
-	}
-	q, exists := s.ready[t.sig]
-	if !exists {
-		// New signature: keep s.sigs sorted.
-		pos := sort.SearchStrings(s.sigs, t.sig)
-		s.sigs = append(s.sigs, "")
-		copy(s.sigs[pos+1:], s.sigs[pos:])
-		s.sigs[pos] = t.sig
-	}
-	// Binary insert; the common case (ascending IDs, equal priority)
-	// appends at the end in O(1).
-	at := sort.Search(len(q), func(i int) bool { return headLess(t, s.tasks[q[i]]) })
-	q = append(q, 0)
-	copy(q[at+1:], q[at:])
-	q[at] = id
-	s.ready[t.sig] = q
-	s.readyN++
-}
-
-// constraintSig canonicalises constraints for the placement-blocking set.
-func constraintSig(c resources.Constraints) string {
-	return fmt.Sprintf("%d/%d/%d/%d/%d/%v",
-		c.Cores, c.MemoryMB, c.GPUs, c.Nodes, c.Class, c.Software)
-}
-
-// place tries to start task id now; reports success.
-func (s *Sim) place(id int64) bool {
-	t := s.tasks[id]
-	fitting := s.cfg.Pool.Fitting(t.spec.Constraints)
-	wantNodes := t.spec.Constraints.EffectiveNodes()
-	if len(fitting) < wantNodes {
-		return false
-	}
-	view := &sched.TaskView{
-		ID:          id,
-		Class:       t.spec.Class,
-		Constraints: t.spec.Constraints,
-		EstDuration: t.spec.Duration,
-		InputKeys:   t.reads,
-		InputBytes:  t.inBytes,
-	}
-	primary := s.cfg.Policy.Pick(view, fitting, s.schedCtx())
-	if primary == nil {
-		return false
-	}
-	group := []*resources.Node{primary}
-	for _, n := range fitting {
-		if len(group) == wantNodes {
-			break
-		}
-		if n != primary {
-			group = append(group, n)
-		}
-	}
-	if len(group) < wantNodes {
-		return false
-	}
-	for i, n := range group {
-		if err := n.Reserve(t.spec.Constraints); err != nil {
-			for _, done := range group[:i] {
-				done.Release(t.spec.Constraints)
-			}
-			return false
-		}
-	}
-
-	// Stage inputs to the primary node.
-	plan := s.mgr.PlanFetch(primary.Name(), t.reads)
-	// Inputs with no replica anywhere should not happen outside recovery
-	// races; treat as zero-cost (the recovery path resubmits producers
-	// before dependents become ready).
-	s.mgr.Apply(plan)
-	s.result.BytesMoved += plan.Bytes
-	s.result.TransferTime += plan.Time
-	if plan.Bytes > 0 {
-		s.cfg.Tracer.Record(trace.Event{
-			At: s.clock.Now(), Kind: trace.DataTransfer, Task: id,
-			Node: primary.Name(), Info: fmt.Sprintf("%dB", plan.Bytes),
-		})
-	}
-
-	t.state = stateRunning
-	t.started = s.clock.Now()
-	t.epoch++
-	t.nodes = make([]string, len(group))
-	for i, n := range group {
-		t.nodes[i] = n.Name()
-	}
-	s.cfg.Tracer.Record(trace.Event{
-		At: s.clock.Now(), Kind: trace.TaskStarted, Task: id, Node: primary.Name(), Info: t.spec.Class,
-	})
-
-	sf := primary.Desc().SpeedFactor
-	if sf <= 0 {
-		sf = 1
-	}
-	run := time.Duration(float64(t.spec.Duration) / sf)
-	epoch := t.epoch
-	s.clock.After(plan.Time+run, func() { s.complete(id, run, epoch) })
-	return true
-}
-
-// complete finishes a running task. Stale events (from a placement that a
-// node failure cancelled) are identified by epoch and ignored.
-func (s *Sim) complete(id int64, ran time.Duration, epoch int) {
-	t := s.tasks[id]
-	if t.state != stateRunning || t.epoch != epoch {
-		return // killed by a failure before this event fired
-	}
-	cores := t.spec.Constraints.EffectiveCores()
-	for _, name := range t.nodes {
-		if n, ok := s.cfg.Pool.Get(name); ok {
-			n.Release(t.spec.Constraints)
-			s.acct.AddTask(name, n.Desc(), cores, ran)
-			s.result.BusyCoreSeconds += float64(cores) * ran.Seconds()
-			if s.cfg.Predictor != nil {
-				// Observe the speed-normalised (reference) duration.
-				base := time.Duration(float64(ran) * n.Desc().SpeedFactor)
-				s.cfg.Predictor.Observe(t.spec.Class, t.inBytes, base)
-			}
-		}
-	}
-	primary := t.nodes[0]
-
-	// Register outputs on the primary node (and the persistence tier).
-	for _, k := range t.writes {
-		s.mgr.Registry().AddReplica(k, primary)
-		if s.cfg.PersistNode != "" && s.cfg.PersistNode != primary {
-			s.mgr.Registry().AddReplica(k, s.cfg.PersistNode)
-			s.cfg.Tracer.Record(trace.Event{
-				At: s.clock.Now(), Kind: trace.DataPersisted, Task: id, Node: s.cfg.PersistNode,
-			})
-		}
-	}
-
-	s.cfg.Tracer.Record(trace.Event{
-		At: s.clock.Now(), Kind: trace.TaskCompleted, Task: id, Node: primary,
-	})
-	s.result.TasksCompleted++
-
-	first := !t.completed
-	t.completed = true
-	t.state = stateDone
-	t.nodes = nil
-
-	if first {
-		s.remaining--
-		for _, dep := range t.dependents {
-			dt := s.tasks[dep]
-			dt.waitCount--
-			if dt.waitCount == 0 && dt.state == statePending {
-				dt.state = stateReady
-				s.pushReady(dep)
-			}
-		}
-	} else {
-		s.result.TasksReExecuted++
-	}
-	// Wake tasks waiting on this re-execution (recovery).
-	for dep := range t.redeps {
-		dt := s.tasks[dep]
-		dt.waitCount--
-		if dt.waitCount == 0 && dt.state == statePending {
-			dt.state = stateReady
-			s.pushReady(dep)
-		}
-	}
-	t.redeps = make(map[int64]struct{})
-
-	s.trySchedule()
-}
-
 // failNode removes a node, kills its running tasks and triggers recovery.
 func (s *Sim) failNode(name string) {
 	if _, ok := s.cfg.Pool.Get(name); !ok {
@@ -605,120 +402,28 @@ func (s *Sim) failNode(name string) {
 	s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.NodeFailed, Node: name})
 	_ = s.cfg.Pool.Remove(name)
 
-	// Data on the node is gone; note which versions lost their last copy.
-	s.mgr.Registry().DropNode(name)
+	// Data on the node is gone.
+	s.reg.DropNode(name)
 
-	// Kill running tasks that used the node.
-	for _, id := range s.order {
-		t := s.tasks[id]
-		if t.state != stateRunning {
-			continue
-		}
-		uses := false
-		for _, n := range t.nodes {
-			if n == name {
-				uses = true
-				break
-			}
-		}
-		if !uses {
-			continue
-		}
-		// Release reservations on surviving nodes.
-		for _, n := range t.nodes {
-			if n == name {
-				continue
-			}
-			if node, ok := s.cfg.Pool.Get(n); ok {
-				node.Release(t.spec.Constraints)
-			}
-		}
-		t.nodes = nil
-		t.state = statePending
-		t.waitCount = 0
+	// Kill running tasks that used the node and recover through lineage.
+	for _, t := range s.eng.KillRunningOn(name) {
 		s.result.TasksFailed++
-		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.TaskFailed, Task: id, Node: name})
-		s.resubmit(id)
-		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.TaskRecovered, Task: id})
+		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.TaskFailed, Task: t.ID, Node: name})
+		s.eng.Resubmit(t.ID)
+		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.TaskRecovered, Task: t.ID})
 	}
 
-	// Data lost with the node may be needed by tasks not yet run; their
-	// producers will be resubmitted lazily when dependents check inputs.
-	// Eagerly check ready tasks: some inputs may have vanished.
-	for sig, q := range s.ready {
-		still := q[:0]
-		for _, id := range q {
-			t := s.tasks[id]
-			if missing := s.missingProducers(t); len(missing) > 0 {
-				t.state = statePending
-				t.waitCount = 0
-				s.readyN--
-				s.resubmit(id)
-				continue
-			}
-			still = append(still, id)
-		}
-		s.ready[sig] = still
+	// Ready tasks may have lost an input with the node; recompute their
+	// producers before they run.
+	for _, t := range s.eng.DropReadyMissingInputs() {
+		s.eng.Resubmit(t.ID)
 	}
-	s.trySchedule()
-}
-
-// missingProducers lists producers of t's inputs that have no replica left.
-func (s *Sim) missingProducers(t *simTask) []int64 {
-	var out []int64
-	for _, k := range t.reads {
-		if len(s.mgr.Registry().Where(k)) > 0 {
-			continue
-		}
-		if p, ok := s.producer[k]; ok {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// resubmit schedules a task for (re-)execution, recursively resubmitting
-// producers of any input versions that lost every replica (recompute
-// lineage — the no-persistence recovery path of E7).
-func (s *Sim) resubmit(id int64) {
-	t := s.tasks[id]
-	switch t.state {
-	case stateReady, stateRunning:
-		return
-	case statePending:
-		if t.waitCount > 0 {
-			return // already mid-resubmission (or waiting on live deps)
-		}
-	case stateDone:
-		t.state = statePending
-		t.waitCount = 0
-	}
-	waits := 0
-	for _, k := range t.reads {
-		if len(s.mgr.Registry().Where(k)) > 0 {
-			continue
-		}
-		p, ok := s.producer[k]
-		if !ok {
-			continue // external data lost for good; nothing to recompute
-		}
-		pt := s.tasks[p]
-		if _, dup := pt.redeps[id]; !dup {
-			pt.redeps[id] = struct{}{}
-			waits++
-		}
-		s.resubmit(p)
-	}
-	t.waitCount += waits
-	if t.waitCount == 0 {
-		t.state = stateReady
-		s.pushReady(id)
-	}
+	s.eng.Schedule()
 }
 
 // elasticStep applies one elasticity evaluation.
 func (s *Sim) elasticStep() {
-	pending := s.readyN
+	pending := s.eng.ReadyCount()
 	switch s.cfg.Elastic.Evaluate(s.cfg.Pool, pending) {
 	case resources.Grow:
 		node, delay, err := s.cfg.Elastic.GrowOne(s.cfg.Pool)
@@ -739,7 +444,7 @@ func (s *Sim) elasticStep() {
 		if err := node.Reserve(hold); err == nil {
 			s.clock.After(delay, func() {
 				node.Release(hold)
-				s.trySchedule()
+				s.eng.Schedule()
 			})
 		}
 	case resources.Shrink:
@@ -759,3 +464,7 @@ func (s *Sim) elasticStep() {
 
 // Now exposes the simulation clock (useful in tests).
 func (s *Sim) Now() time.Duration { return s.clock.Now() }
+
+// EngineStats exposes the shared scheduling engine's counters (launches,
+// transfer accounting) — comparable one-to-one with the live runtime's.
+func (s *Sim) EngineStats() engine.Stats { return s.eng.Stats() }

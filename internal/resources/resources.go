@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 )
 
@@ -104,6 +105,37 @@ func (c Constraints) EffectiveNodes() int {
 		return 1
 	}
 	return c.Nodes
+}
+
+// Signature canonicalises the constraints into a string key. Two tasks
+// with the same signature are placeable on exactly the same nodes, which
+// is what lets scheduling engines shard their ready queues per signature.
+// The zero value (no requirements) returns a constant, so unconstrained
+// hot paths pay nothing.
+func (c Constraints) Signature() string {
+	if c.Cores == 0 && c.MemoryMB == 0 && c.GPUs == 0 &&
+		c.Nodes == 0 && c.Class == 0 && len(c.Software) == 0 {
+		return "-"
+	}
+	b := make([]byte, 0, 32)
+	b = strconv.AppendInt(b, int64(c.Cores), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, c.MemoryMB, 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(c.GPUs), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(c.Nodes), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(c.Class), 10)
+	for _, sw := range c.Software {
+		// Length-prefixed so names containing the separator cannot make
+		// two different constraint sets collide into one signature.
+		b = append(b, '/')
+		b = strconv.AppendInt(b, int64(len(sw)), 10)
+		b = append(b, ':')
+		b = append(b, sw...)
+	}
+	return string(b)
 }
 
 // Satisfies reports whether a node with this description can ever run a
@@ -380,6 +412,19 @@ func (p *Pool) Capable(c Constraints) []*Node {
 		}
 	}
 	return out
+}
+
+// AnyCapable reports whether some node could ever run c (ignoring load),
+// without allocating — the submit-path admission check.
+func (p *Pool) AnyCapable(c Constraints) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, n := range p.nodes {
+		if n.Desc().Satisfies(c) {
+			return true
+		}
+	}
+	return false
 }
 
 // TotalCores sums cores across the pool.

@@ -56,11 +56,13 @@ type Policy interface {
 	Pick(t *TaskView, fitting []*resources.Node, ctx *Context) *resources.Node
 }
 
-// Prioritizer is an optional Policy extension: engines order ready tasks
-// by descending Priority before placing them, which is how an informed
-// policy implements longest-processing-time-first and similar list
-// heuristics. Engines fall back to submission order for policies that do
-// not implement it (or that return equal priorities).
+// Prioritizer is an optional Policy extension: the shared scheduling
+// engine (internal/engine) orders ready tasks by descending Priority
+// before placing them, which is how an informed policy implements
+// longest-processing-time-first and similar list heuristics. Priority is
+// evaluated once per ready-queue push; policies that do not implement
+// the interface (or that return equal priorities) fall back to
+// submission order.
 type Prioritizer interface {
 	// Priority ranks a ready task; higher places first.
 	Priority(t *TaskView, ctx *Context) float64

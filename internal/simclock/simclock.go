@@ -98,6 +98,15 @@ func (c *Clock) After(d time.Duration, fn func()) {
 	c.At(c.now+d, fn)
 }
 
+// Defer schedules fn at the current instant, after every event already
+// queued for this instant (same-time events fire in scheduling order).
+// Simulation engines use it to coalesce work across a batch of same-time
+// events: the first completion of an instant defers one scheduling wave
+// that then sees every completion of that instant at once.
+func (c *Clock) Defer(fn func()) {
+	c.At(c.now, fn)
+}
+
 // Step fires the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was fired.
 func (c *Clock) Step() bool {

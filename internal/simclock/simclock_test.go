@@ -134,3 +134,29 @@ func TestEventsCanCascade(t *testing.T) {
 		t.Fatalf("Now() = %v, want 99ms", c.Now())
 	}
 }
+
+func TestDeferRunsAfterCurrentInstant(t *testing.T) {
+	c := New()
+	var order []string
+	c.At(time.Second, func() {
+		order = append(order, "first")
+		c.Defer(func() { order = append(order, "deferred") })
+		c.At(time.Second, func() { order = append(order, "second") })
+	})
+	c.At(time.Second, func() { order = append(order, "queued") })
+	c.Run()
+	// The deferred callback fires at the same instant but after every
+	// event already queued for it ("queued"), in scheduling order.
+	want := []string{"first", "queued", "deferred", "second"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if c.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", c.Now())
+	}
+}
