@@ -27,6 +27,38 @@ func BenchmarkSubmitWait(b *testing.B) {
 	}
 }
 
+// BenchmarkSubmitAllWait measures the batch submission path: N tasks
+// registered and queued under one lock round-trip (deps.RegisterBatch +
+// engine.AddBatch), then awaited. Compare per-task cost with
+// BenchmarkSubmitWait to see what the batch amortises.
+func BenchmarkSubmitAllWait(b *testing.B) {
+	const batch = 64
+	rt := New(Config{})
+	defer rt.Shutdown()
+	if err := rt.Register(TaskDef{Name: "noop", Fn: func(_ context.Context, _ []any) ([]any, error) {
+		return nil, nil
+	}}); err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]TaskReq, batch)
+	for i := range reqs {
+		reqs[i] = TaskReq{Name: "noop"}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		futs, err := rt.SubmitAll(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range futs {
+			if _, err := f.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "tasks/s")
+}
+
 // BenchmarkDependencyChain measures per-task overhead through a value-
 // passing dependency chain.
 func BenchmarkDependencyChain(b *testing.B) {

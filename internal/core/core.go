@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"time"
 
@@ -75,6 +76,11 @@ type Param struct {
 	Dir deps.Direction
 	// Value is the immediate value for non-handle (read-only) params.
 	Value any
+	// Size declares the byte size of the version a writing parameter
+	// produces (0 ⇒ measure the returned value at completion). Sizes feed
+	// the transfer books, so live runs report moved volumes, not just
+	// move counts.
+	Size int64
 }
 
 // In passes a plain value (no dependency tracking).
@@ -86,8 +92,20 @@ func Read(h *Handle) Param { return Param{Handle: h, Dir: deps.In} }
 // Write declares an overwrite access on a handle.
 func Write(h *Handle) Param { return Param{Handle: h, Dir: deps.Out} }
 
+// WriteSized declares an overwrite access producing the given number of
+// bytes (the declared-size path of transfer accounting).
+func WriteSized(h *Handle, bytes int64) Param {
+	return Param{Handle: h, Dir: deps.Out, Size: bytes}
+}
+
 // Update declares a read-modify-write access on a handle.
 func Update(h *Handle) Param { return Param{Handle: h, Dir: deps.InOut} }
+
+// UpdateSized declares a read-modify-write access whose new version has
+// the given byte size.
+func UpdateSized(h *Handle, bytes int64) Param {
+	return Param{Handle: h, Dir: deps.InOut, Size: bytes}
+}
 
 // Reduce declares a commutative update on a handle.
 func Reduce(h *Handle) Param { return Param{Handle: h, Dir: deps.Commutative} }
@@ -103,11 +121,23 @@ type Handle struct {
 // ID returns the underlying data ID.
 func (h *Handle) ID() deps.DataID { return h.id }
 
-// Future is the synchronisation object of an asynchronous task.
+// Future is the synchronisation object of an asynchronous task. A task
+// killed by a fault injection keeps its future open until the recovery
+// re-execution delivers a result.
 type Future struct {
 	done chan struct{}
+	once sync.Once
 	vals []any
 	err  error
+}
+
+// complete delivers the result exactly once: a recovery re-execution of an
+// already-finished task leaves the published values untouched.
+func (f *Future) complete(vals []any, err error) {
+	f.once.Do(func() {
+		f.vals, f.err = vals, err
+		close(f.done)
+	})
 }
 
 // Wait blocks until the task finishes and returns its values.
@@ -157,12 +187,14 @@ type versionSlot struct {
 // rtTask is one submitted invocation. The engine task is embedded so one
 // allocation carries both the scheduler-facing and runtime-facing state.
 type rtTask struct {
-	et     engine.Task
-	def    TaskDef
-	params []Param
-	reads  []deps.Version
-	writes []deps.Version
-	future *Future
+	et         engine.Task
+	def        TaskDef
+	params     []Param
+	reads      []deps.Version
+	writes     []deps.Version
+	writeSizes []int64 // declared byte sizes per write (0 ⇒ measure)
+	future     *Future
+	cancel     context.CancelFunc // current execution's context (rt.mu)
 }
 
 // Runtime executes tasks. Create with New, stop with Shutdown.
@@ -239,32 +271,107 @@ func (rt *Runtime) NewData() *Handle {
 	return &Handle{rt: rt, id: deps.DataID(rt.nextData)}
 }
 
+// DataOption tunes SetInitial.
+type DataOption func(*dataOpts)
+
+type dataOpts struct {
+	size  int64
+	sized bool
+	node  string
+}
+
+// WithSize declares the byte size of the staged-in value, overriding the
+// measured estimate — how externally produced files report their true
+// volume to the transfer books.
+func WithSize(bytes int64) DataOption {
+	return func(o *dataOpts) { o.size, o.sized = bytes, true }
+}
+
+// WithLocation names the node that holds the staged-in value (default:
+// the first pool node), the replica seed for locality scheduling and
+// transfer accounting.
+func WithLocation(node string) DataOption {
+	return func(o *dataOpts) { o.node = node }
+}
+
 // SetInitial sets version 0 of a handle to a concrete value (stage-in).
-func (rt *Runtime) SetInitial(h *Handle, v any) {
+// When the runtime has a location registry, the value's size (declared via
+// WithSize or measured) and its replica location are recorded, so live
+// transfer accounting prices the stage-in data like the simulator does.
+func (rt *Runtime) SetInitial(h *Handle, v any, opts ...DataOption) {
+	var o dataOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.values[deps.Version{Data: h.id, Ver: 0}] = versionSlot{val: v}
+	if rt.cfg.Locations == nil {
+		return
+	}
+	k := transfer.Key{Data: h.id, Ver: 0}
+	size := o.size
+	if !o.sized {
+		size = measureBytes(v)
+	}
+	if size > 0 {
+		rt.cfg.Locations.SetSize(k, size)
+	}
+	node := o.node
+	if node == "" {
+		if nodes := rt.cfg.Pool.Nodes(); len(nodes) > 0 {
+			node = nodes[0].Name()
+		}
+	}
+	if node != "" {
+		rt.cfg.Locations.AddReplica(k, node)
+	}
 }
 
-// Submit invokes a registered task asynchronously.
-func (rt *Runtime) Submit(name string, params ...Param) (*Future, error) {
-	rt.mu.Lock()
+// measureBytes estimates the in-memory payload of a value for transfer
+// accounting: exact for byte slices and strings, element-size × length for
+// other slices, the type's size for fixed-size values, and 0 (unknown) for
+// reference types it cannot see through.
+func measureBytes(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case []byte:
+		return int64(len(x))
+	case string:
+		return int64(len(x))
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.String: // named string types miss the type switch above
+		return int64(rv.Len())
+	case reflect.Slice:
+		return int64(rv.Len()) * int64(rv.Type().Elem().Size())
+	case reflect.Ptr, reflect.Map, reflect.Chan, reflect.Func, reflect.Interface, reflect.Invalid:
+		return 0
+	default:
+		return int64(rv.Type().Size())
+	}
+}
+
+// admitLocked checks a submission is serviceable. Caller holds rt.mu.
+func (rt *Runtime) admitLocked(name string) (TaskDef, error) {
 	if rt.stopped {
-		rt.mu.Unlock()
-		return nil, ErrShutdown
+		return TaskDef{}, ErrShutdown
 	}
 	def, ok := rt.defs[name]
 	if !ok {
-		rt.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrUnknownTask, name)
+		return TaskDef{}, fmt.Errorf("%w: %s", ErrUnknownTask, name)
 	}
 	if !rt.cfg.Pool.AnyCapable(def.Constraints) {
-		rt.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s needs %+v", ErrUnplaceable, name, def.Constraints)
+		return TaskDef{}, fmt.Errorf("%w: %s needs %+v", ErrUnplaceable, name, def.Constraints)
 	}
+	return def, nil
+}
 
-	rt.nextTask++
-	id := rt.nextTask
+// normalizeParams copies the parameter list, defaults directions, and
+// derives the access list the processor consumes.
+func normalizeParams(params []Param) ([]Param, []deps.Access) {
 	params = append([]Param(nil), params...)
 	var accesses []deps.Access
 	for i := range params {
@@ -286,14 +393,28 @@ func (rt *Runtime) Submit(name string, params ...Param) (*Future, error) {
 		params[i].Dir = dir
 		accesses = append(accesses, deps.Access{Data: params[i].Handle.id, Dir: dir})
 	}
-	res := rt.proc.Register(deps.TaskID(id), accesses)
+	return params, accesses
+}
 
+// buildTaskLocked assembles the runtime task for one registered
+// invocation: declared output sizes enter the location registry, input
+// sizes aggregate into the scheduler's covariate. Caller holds rt.mu.
+func (rt *Runtime) buildTaskLocked(id int64, def TaskDef, params []Param, res deps.Result) *rtTask {
 	t := &rtTask{
-		def:    def,
-		params: params,
-		reads:  res.Reads,
-		writes: res.Writes,
-		future: &Future{done: make(chan struct{})},
+		def:        def,
+		params:     params,
+		reads:      res.Reads,
+		writes:     res.Writes,
+		writeSizes: make([]int64, len(res.Writes)),
+		future:     &Future{done: make(chan struct{})},
+	}
+	wi := 0
+	for _, p := range params {
+		if p.Handle == nil || !p.Dir.Writes() {
+			continue
+		}
+		t.writeSizes[wi] = p.Size
+		wi++
 	}
 	t.et = engine.Task{
 		ID:          id,
@@ -303,9 +424,35 @@ func (rt *Runtime) Submit(name string, params ...Param) (*Future, error) {
 		OutputKeys:  keysOf(res.Writes),
 		Payload:     t,
 	}
-	if rt.cfg.Tracer != nil {
-		rt.cfg.Tracer.Record(trace.Event{At: rt.now(), Kind: trace.TaskSubmitted, Task: id, Info: name})
+	if rt.cfg.Locations != nil {
+		for _, k := range t.et.InputKeys {
+			t.et.InputBytes += rt.cfg.Locations.Size(k)
+		}
+		for i, k := range t.et.OutputKeys {
+			if t.writeSizes[i] > 0 {
+				rt.cfg.Locations.SetSize(k, t.writeSizes[i])
+			}
+		}
 	}
+	if rt.cfg.Tracer != nil {
+		rt.cfg.Tracer.Record(trace.Event{At: rt.now(), Kind: trace.TaskSubmitted, Task: id, Info: def.Name})
+	}
+	return t
+}
+
+// Submit invokes a registered task asynchronously.
+func (rt *Runtime) Submit(name string, params ...Param) (*Future, error) {
+	rt.mu.Lock()
+	def, err := rt.admitLocked(name)
+	if err != nil {
+		rt.mu.Unlock()
+		return nil, err
+	}
+	rt.nextTask++
+	id := rt.nextTask
+	params, accesses := normalizeParams(params)
+	res := rt.proc.Register(deps.TaskID(id), accesses)
+	t := rt.buildTaskLocked(id, def, params, res)
 	// The engine counts only dependencies whose producer has not already
 	// finished; rt.mu is held through Add so a dependent can never slip in
 	// ahead of its producer's registration.
@@ -317,6 +464,60 @@ func (rt *Runtime) Submit(name string, params ...Param) (*Future, error) {
 	return t.future, nil
 }
 
+// TaskReq names one invocation of a SubmitAll batch.
+type TaskReq struct {
+	// Name is the registered task-class name.
+	Name string
+	// Params bind the invocation's arguments.
+	Params []Param
+}
+
+// SubmitAll submits a batch of invocations under one lock round-trip:
+// the whole batch is admitted, registered through the access processor's
+// batch path and added to the engine in one acquisition each, then a
+// single placement wave runs. Requests may depend on earlier batch
+// members. On error nothing is registered and no future is returned.
+func (rt *Runtime) SubmitAll(reqs []TaskReq) ([]*Future, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	rt.mu.Lock()
+	defs := make([]TaskDef, len(reqs))
+	for i, r := range reqs {
+		def, err := rt.admitLocked(r.Name)
+		if err != nil {
+			rt.mu.Unlock()
+			return nil, fmt.Errorf("core: batch task %d: %w", i, err)
+		}
+		defs[i] = def
+	}
+	base := rt.nextTask
+	rt.nextTask += int64(len(reqs))
+	norm := make([][]Param, len(reqs))
+	batch := make([]deps.TaskAccesses, len(reqs))
+	for i, r := range reqs {
+		params, accesses := normalizeParams(r.Params)
+		norm[i] = params
+		batch[i] = deps.TaskAccesses{Task: deps.TaskID(base + int64(i) + 1), Accesses: accesses}
+	}
+	results := rt.proc.RegisterBatch(batch)
+	futures := make([]*Future, len(reqs))
+	ets := make([]*engine.Task, len(reqs))
+	prods := make([][]deps.TaskID, len(reqs))
+	for i := range reqs {
+		t := rt.buildTaskLocked(base+int64(i)+1, defs[i], norm[i], results[i])
+		futures[i] = t.future
+		ets[i] = &t.et
+		prods[i] = results[i].Deps
+	}
+	ready := rt.eng.AddBatch(ets, prods)
+	rt.mu.Unlock()
+	if ready {
+		rt.eng.Schedule()
+	}
+	return futures, nil
+}
+
 func keysOf(vs []deps.Version) []transfer.Key {
 	out := make([]transfer.Key, len(vs))
 	for i, v := range vs {
@@ -326,7 +527,10 @@ func keysOf(vs []deps.Version) []transfer.Key {
 }
 
 // coreExecutor adapts the runtime to engine.Executor: each placement
-// becomes a goroutine running the task body on its reserved node.
+// becomes a goroutine running the task body on its reserved node. The
+// goroutine's context is cancelled if a fault invalidates the placement,
+// so cancellation-aware task bodies stop burning cores on work whose
+// completion the engine will reject anyway.
 type coreExecutor Runtime
 
 // Launch implements engine.Executor.
@@ -336,11 +540,23 @@ func (x *coreExecutor) Launch(p engine.Placement) {
 	if !ok {
 		return
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	rt.mu.Lock()
+	// A fault can invalidate the placement between the engine's wave and
+	// this launch (and even relaunch the task elsewhere): spawning the
+	// stale execution would waste a core and clobber the re-run's cancel
+	// hook. rt.mu is held, so a concurrent FailNode's onKill — which also
+	// takes rt.mu — cannot interleave between this check and the store.
+	if !rt.eng.Current(p.Task.ID, p.Epoch) {
+		rt.mu.Unlock()
+		cancel()
+		return
+	}
+	t.cancel = cancel
 	args, depErr := rt.materialiseLocked(t)
 	rt.wg.Add(1)
 	rt.mu.Unlock()
-	go rt.execute(t, p.Epoch, args, depErr)
+	go rt.execute(ctx, cancel, t, p.Epoch, args, depErr)
 }
 
 // materialiseLocked resolves parameter values. Caller holds rt.mu.
@@ -367,8 +583,9 @@ func (rt *Runtime) materialiseLocked(t *rtTask) ([]any, error) {
 }
 
 // execute runs one task on its reserved node group.
-func (rt *Runtime) execute(t *rtTask, epoch int, args []any, depErr error) {
+func (rt *Runtime) execute(ctx context.Context, cancel context.CancelFunc, t *rtTask, epoch int, args []any, depErr error) {
 	defer rt.wg.Done()
+	defer cancel()
 	var started time.Time
 	if rt.cfg.Predictor != nil {
 		started = time.Now()
@@ -379,9 +596,9 @@ func (rt *Runtime) execute(t *rtTask, epoch int, args []any, depErr error) {
 	err := depErr
 	if err == nil {
 		for attempt := 0; ; attempt++ {
-			vals, err = t.def.Fn(context.Background(), args)
-			if err == nil || attempt >= t.def.Retries {
-				break
+			vals, err = t.def.Fn(ctx, args)
+			if err == nil || attempt >= t.def.Retries || ctx.Err() != nil {
+				break // a cancelled (fault-killed) execution does not retry
 			}
 		}
 		if rt.cfg.Predictor != nil {
@@ -397,36 +614,54 @@ func (rt *Runtime) execute(t *rtTask, epoch int, args []any, depErr error) {
 			ErrArity, t.def.Name, len(vals), len(t.writes))
 	}
 
-	// Values must be visible before the engine releases dependents.
+	// Values must be visible before the engine releases dependents — but
+	// only from the placement the engine still recognises: an execution
+	// orphaned by a node failure must not clobber the versions its
+	// recovery re-run will publish.
 	rt.mu.Lock()
-	for i, w := range t.writes {
-		if err != nil {
-			rt.values[w] = versionSlot{err: err}
-			continue
-		}
-		rt.values[w] = versionSlot{val: vals[i]}
-		if rt.cfg.Provenance != nil {
-			inputs := make([]string, 0, len(t.reads))
-			for _, r := range t.reads {
-				inputs = append(inputs, trace.VersionKey(int64(r.Data), r.Ver))
+	if rt.eng.Current(t.et.ID, epoch) {
+		for i, w := range t.writes {
+			if err != nil {
+				rt.values[w] = versionSlot{err: err}
+				continue
 			}
-			rt.cfg.Provenance.RecordProduction(trace.VersionKey(int64(w.Data), w.Ver), t.et.ID, inputs)
+			rt.values[w] = versionSlot{val: vals[i]}
+			if rt.cfg.Locations != nil && t.writeSizes[i] == 0 {
+				// No declared size: measure the produced value so live
+				// transfer accounting reports volumes, not just moves.
+				rt.cfg.Locations.SetSize(transfer.KeyOf(w), measureBytes(vals[i]))
+			}
+			if rt.cfg.Provenance != nil {
+				inputs := make([]string, 0, len(t.reads))
+				for _, r := range t.reads {
+					inputs = append(inputs, trace.VersionKey(int64(r.Data), r.Ver))
+				}
+				rt.cfg.Provenance.RecordProduction(trace.VersionKey(int64(w.Data), w.Ver), t.et.ID, inputs)
+			}
 		}
 	}
 	rt.mu.Unlock()
-	if rt.cfg.Predictor != nil && err == nil {
-		rt.cfg.Predictor.Observe(t.def.Name, 0, elapsed)
-	}
 
 	// The engine releases the reservation, registers output replicas,
 	// frees every dependent under one lock acquisition, and immediately
-	// runs the next placement wave.
-	rt.eng.CompleteSchedule(t.et.ID, epoch, err != nil)
-
-	t.params = nil // consumed by materialisation; drop for the GC
-	t.future.vals = vals
-	t.future.err = err
-	close(t.future.done)
+	// runs the next placement wave. A stale completion — the placement was
+	// invalidated by a fault — is rejected; the relaunched execution owns
+	// the future and the books.
+	if _, ok := rt.eng.CompleteSchedule(t.et.ID, epoch, err != nil); !ok {
+		return
+	}
+	if rt.cfg.Predictor != nil && err == nil {
+		rt.cfg.Predictor.Observe(t.def.Name, 0, elapsed)
+	}
+	if rt.cfg.Locations == nil {
+		// Without a replica registry there is no lineage re-execution, so
+		// the consumed parameters are dead weight; with one, keep them —
+		// a recovery re-run materialises the same invocation again.
+		rt.mu.Lock()
+		t.params = nil
+		rt.mu.Unlock()
+	}
+	t.future.complete(vals, err)
 }
 
 // WaitOn synchronises on the newest version of a handle and returns its
@@ -491,6 +726,47 @@ func (rt *Runtime) Stats() Stats {
 // EngineStats exposes the shared scheduling engine's counters (launches,
 // transfer accounting) — comparable one-to-one with the simulator's.
 func (rt *Runtime) EngineStats() engine.Stats { return rt.eng.Stats() }
+
+// FailNode implements the faults.Injector crash for the live runtime: the
+// engine removes the node, kills its running tasks (their placements'
+// epochs are invalidated, so their goroutines' eventual completions are
+// rejected) and resubmits them through lineage recovery; on top of that,
+// each killed execution's context is cancelled so cancellation-aware task
+// bodies stop immediately — the live equivalent of the simulator
+// discarding a completion event. Futures of killed tasks stay open until
+// their recovery re-execution delivers a result.
+func (rt *Runtime) FailNode(name string) (engine.FailReport, error) {
+	return rt.eng.FailNode(name, func(et *engine.Task) {
+		t, ok := et.Payload.(*rtTask)
+		if !ok {
+			return
+		}
+		rt.mu.Lock()
+		cancel := t.cancel
+		rt.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	})
+}
+
+// SlowNode implements the faults.Injector slow-node. Real execution speed
+// cannot be stretched, but placements on the node are marked degraded
+// (Placement.SlowFactor) and the event is traced, so drills and
+// duration-model consumers observe the same script as the simulator.
+func (rt *Runtime) SlowNode(name string, factor float64) error {
+	return rt.eng.SlowNode(name, factor)
+}
+
+// DrainNode implements the faults.Injector drain: running tasks finish,
+// new placements avoid the node.
+func (rt *Runtime) DrainNode(name string) error { return rt.eng.DrainNode(name) }
+
+// Partition implements the faults.Injector link cut (requires Config.Net).
+func (rt *Runtime) Partition(a, b string) error { return rt.eng.Partition(a, b) }
+
+// Heal restores a link cut by Partition.
+func (rt *Runtime) Heal(a, b string) error { return rt.eng.Heal(a, b) }
 
 // Pool exposes the node pool (for agents that add/remove resources at
 // execution time, paper Sec. VI-B).

@@ -9,8 +9,14 @@ import (
 
 	"repro/internal/mlpredict"
 	"repro/internal/resources"
+	"repro/internal/simnet"
 	"repro/internal/trace"
+	"repro/internal/transfer"
 )
+
+func newRegistry() *transfer.Registry { return transfer.NewRegistry() }
+
+func flatNet() *simnet.Network { return simnet.New(simnet.Link{BandwidthMBps: 1000}) }
 
 func newRT(t *testing.T, cfg Config) *Runtime {
 	t.Helper()
@@ -434,6 +440,110 @@ func TestRetriesExhausted(t *testing.T) {
 	}
 	if atomic.LoadInt32(&attempts) != 3 { // 1 + 2 retries
 		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestSubmitAllBatchChain(t *testing.T) {
+	rt := newRT(t, Config{})
+	registerArith(t, rt)
+	// A chain with intra-batch dependencies: set(1) -> inc -> inc.
+	h := rt.NewData()
+	futs, err := rt.SubmitAll([]TaskReq{
+		{Name: "set", Params: []Param{In(1), Write(h)}},
+		{Name: "inc", Params: []Param{Update(h)}},
+		{Name: "inc", Params: []Param{Update(h)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(futs) != 3 {
+		t.Fatalf("futures = %d, want 3", len(futs))
+	}
+	for _, f := range futs {
+		if _, err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := rt.WaitOn(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("chain result = %v, want 3", v)
+	}
+}
+
+func TestSubmitAllRejectsWholeBatch(t *testing.T) {
+	rt := newRT(t, Config{})
+	registerArith(t, rt)
+	h := rt.NewData()
+	if _, err := rt.SubmitAll([]TaskReq{
+		{Name: "set", Params: []Param{In(1), Write(h)}},
+		{Name: "no-such-task"},
+	}); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("err = %v, want ErrUnknownTask", err)
+	}
+	// Nothing of the failed batch registered: the handle has no producer.
+	if got := rt.Stats().Submitted; got != 0 {
+		t.Fatalf("submitted = %d after rejected batch, want 0", got)
+	}
+}
+
+func TestLiveFailNodeRecoversChain(t *testing.T) {
+	// Two logical nodes; a producer's output lives only on w0; killing w0
+	// mid-consumer forces the engine to re-run the producer (lineage) and
+	// the consumer on w1, and the futures must still deliver the right
+	// values.
+	pool := resources.NewPool()
+	_ = pool.Add(resources.NewNode("w0", resources.Description{Cores: 1, MemoryMB: 4000, SpeedFactor: 1}))
+	_ = pool.Add(resources.NewNode("w1", resources.Description{Cores: 1, MemoryMB: 4000, SpeedFactor: 1}))
+	rt := newRT(t, Config{Pool: pool, Locations: newRegistry(), Net: flatNet()})
+	registerArith(t, rt)
+
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	if err := rt.Register(TaskDef{Name: "slow-inc", Fn: func(_ context.Context, args []any) ([]any, error) {
+		started <- struct{}{}
+		<-release
+		v, _ := args[0].(int)
+		return []any{v + 1}, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	h := rt.NewData()
+	fset, err := rt.Submit("set", In(41), Write(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fset.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	finc, err := rt.Submit("slow-inc", Update(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	rep, err := rt.FailNode("w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Killed) != 1 {
+		t.Fatalf("killed %d tasks, want 1 (the running slow-inc)", len(rep.Killed))
+	}
+	close(release)
+	if _, err := finc.Wait(); err != nil {
+		t.Fatalf("consumer after recovery: %v", err)
+	}
+	v, err := rt.WaitOn(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("recovered value = %v, want 42", v)
+	}
+	if got := rt.EngineStats().Reexecuted; got != 1 {
+		t.Fatalf("re-executed = %d, want 1 (the producer)", got)
 	}
 }
 

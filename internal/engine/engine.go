@@ -61,6 +61,10 @@ type Placement struct {
 	// TransferTime is the modelled input-staging time (zero unless the
 	// engine was configured with a Registry and Net).
 	TransferTime time.Duration
+	// SlowFactor is the duration multiplier of the slowest group member
+	// (≥ 1; see Engine.SlowNode). Duration-modelling executors stretch
+	// compute time by it.
+	SlowFactor float64
 }
 
 // Primary returns the policy-chosen node of the group.
@@ -203,6 +207,7 @@ type Engine struct {
 	readyN   int
 	wave     int                    // placement-wave counter (bucket blocking)
 	producer map[transfer.Key]int64 // which task writes each version
+	slow     map[string]float64     // per-node duration multipliers (fault injection)
 	stats    Stats
 	view     sched.TaskView // scratch view (guarded by mu; never retained)
 
@@ -291,6 +296,28 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) Add(t *Task, producers []deps.TaskID, holds int) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.addLocked(t, producers, holds)
+}
+
+// AddBatch registers several tasks under a single lock acquisition —
+// submission-bound workloads pay one round-trip for the whole batch
+// instead of one per task. Tasks are registered in slice order, so
+// dependencies may point at earlier batch members. It reports whether any
+// task went straight to the ready queue (in which case the caller should
+// Schedule once).
+func (e *Engine) AddBatch(ts []*Task, producers [][]deps.TaskID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ready := false
+	for i, t := range ts {
+		if e.addLocked(t, producers[i], 0) {
+			ready = true
+		}
+	}
+	return ready
+}
+
+func (e *Engine) addLocked(t *Task, producers []deps.TaskID, holds int) bool {
 	t.sig = t.Constraints.Signature()
 	t.state = Pending
 	for _, d := range producers {
@@ -490,8 +517,12 @@ func (e *Engine) placeLocked(t *Task) (Placement, bool) {
 	t.started = e.cfg.Clock.Now()
 	t.epoch++
 	t.nodes = make([]string, len(group))
+	slow := 1.0
 	for i, n := range group {
 		t.nodes[i] = n.Name()
+		if f := e.slow[n.Name()]; f > slow {
+			slow = f // a group runs at its slowest member
+		}
 	}
 	e.stats.Launched++
 	if e.cfg.Tracer != nil {
@@ -500,7 +531,7 @@ func (e *Engine) placeLocked(t *Task) (Placement, bool) {
 			Node: primary.Name(), Info: t.Class,
 		})
 	}
-	return Placement{Task: t, Nodes: group, Epoch: t.epoch, TransferTime: staging}, true
+	return Placement{Task: t, Nodes: group, Epoch: t.epoch, TransferTime: staging, SlowFactor: slow}, true
 }
 
 // Complete finishes a running task: reservations are released, outputs
@@ -547,8 +578,15 @@ func (e *Engine) completeLocked(id int64, epoch int, failed bool) (Completion, b
 		}
 	}
 	if !failed && e.cfg.Registry != nil {
+		// A completion can race a concurrent FailNode on the live backend:
+		// if the primary left the pool after this execution started, its
+		// replicas were already dropped and must not be re-registered on
+		// the dead node — the output survives only on the persist tier.
+		_, primaryAlive := e.cfg.Pool.Get(primary)
 		for _, k := range t.OutputKeys {
-			e.cfg.Registry.AddReplica(k, primary)
+			if primaryAlive {
+				e.cfg.Registry.AddReplica(k, primary)
+			}
 			if e.cfg.PersistNode != "" && e.cfg.PersistNode != primary {
 				e.cfg.Registry.AddReplica(k, e.cfg.PersistNode)
 				if e.cfg.Tracer != nil {

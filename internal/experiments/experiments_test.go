@@ -107,6 +107,19 @@ func TestE6OffloadingBeatsLocalOnly(t *testing.T) {
 	}
 }
 
+func TestE7LiveDrillRecovers(t *testing.T) {
+	res, err := E7LiveRecoveryDrill(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered {
+		t.Fatal("live drill produced wrong final values after the crash")
+	}
+	// Kill counts depend on wall-clock timing; the invariant is that the
+	// workload completes correctly whatever the script managed to hit.
+	t.Logf("drill: killed %d, re-executed %d in %v", res.TasksKilled, res.TasksReExecuted, res.Elapsed)
+}
+
 func TestE7PersistenceCheapensRecovery(t *testing.T) {
 	rows, err := E7FailureRecovery(6, 8)
 	if err != nil {

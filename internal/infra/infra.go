@@ -23,6 +23,7 @@ import (
 	"repro/internal/deps"
 	"repro/internal/energy"
 	"repro/internal/engine"
+	"repro/internal/engine/faults"
 	"repro/internal/mlpredict"
 	"repro/internal/resources"
 	"repro/internal/sched"
@@ -56,7 +57,9 @@ type TaskSpec struct {
 
 // Failure kills a node at a virtual instant (experiment E7: "part of the
 // application failed on a fog node (disappeared for low battery or because
-// no longer in the fog area)").
+// no longer in the fog area)"). It is shorthand for a faults.Scenario with
+// a single Crash event; richer scripts (slow nodes, partitions) go in
+// Config.Faults.
 type Failure struct {
 	Node string
 	At   time.Duration
@@ -90,6 +93,9 @@ type Config struct {
 	PersistNode string
 	// Failures inject node deaths.
 	Failures []Failure
+	// Faults is a full fault script (crashes, slow nodes, drains, network
+	// partitions) armed on the virtual clock alongside Failures.
+	Faults faults.Scenario
 	// Elastic enables pool scaling through the manager.
 	Elastic *resources.ElasticManager
 	// ElasticEvery is the evaluation period (default 10s).
@@ -269,7 +275,8 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 
 // simExecutor adapts the simulation to engine.Executor: each placement
 // becomes a completion event on the virtual clock, delayed by the modelled
-// staging time plus the speed-scaled compute time.
+// staging time plus the speed-scaled compute time (stretched by any
+// injected slow-node factor).
 type simExecutor struct{ s *Sim }
 
 // Launch implements engine.Executor.
@@ -279,6 +286,9 @@ func (x *simExecutor) Launch(p engine.Placement) {
 		sf = 1
 	}
 	run := time.Duration(float64(p.Task.EstDuration) / sf)
+	if p.SlowFactor > 1 {
+		run = time.Duration(float64(run) * p.SlowFactor)
+	}
 	id, epoch := p.Task.ID, p.Epoch
 	x.s.clock.After(p.TransferTime+run, func() { x.s.finish(id, run, epoch) })
 }
@@ -326,10 +336,15 @@ func (s *Sim) deferSchedule() {
 
 // Run executes the simulation to completion and returns the result.
 func (s *Sim) Run() (Result, error) {
-	// Arm failure events.
+	// Arm fault events: legacy Failures become Crash events in front of
+	// the full script, all scheduled on the virtual clock.
+	script := make(faults.Scenario, 0, len(s.cfg.Failures)+len(s.cfg.Faults))
 	for _, f := range s.cfg.Failures {
-		f := f
-		s.clock.At(f.At, func() { s.failNode(f.Node) })
+		script = append(script, faults.Event{At: f.At, Kind: faults.Crash, Node: f.Node})
+	}
+	script = append(script, s.cfg.Faults...)
+	if _, err := faults.Run(s.clock, s, script); err != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
 	// Arm release events.
 	for _, r := range s.releases {
@@ -394,31 +409,50 @@ func (s *Sim) Run() (Result, error) {
 	return s.result, s.err
 }
 
-// failNode removes a node, kills its running tasks and triggers recovery.
-func (s *Sim) failNode(name string) {
-	if _, ok := s.cfg.Pool.Get(name); !ok {
-		return
+// FailNode implements faults.Injector: the engine kills, deregisters and
+// resubmits; the simulator only keeps score. Faults targeting unknown or
+// already-dead nodes are recorded as ignored in the trace instead of
+// silently diverging from the live backend.
+func (s *Sim) FailNode(name string) (engine.FailReport, error) {
+	rep, err := s.eng.FailNode(name, nil)
+	if err != nil {
+		s.traceIgnored(name, err)
+		return rep, err
 	}
-	s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.NodeFailed, Node: name})
-	_ = s.cfg.Pool.Remove(name)
+	s.result.TasksFailed += len(rep.Killed)
+	return rep, nil
+}
 
-	// Data on the node is gone.
-	s.reg.DropNode(name)
-
-	// Kill running tasks that used the node and recover through lineage.
-	for _, t := range s.eng.KillRunningOn(name) {
-		s.result.TasksFailed++
-		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.TaskFailed, Task: t.ID, Node: name})
-		s.eng.Resubmit(t.ID)
-		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.TaskRecovered, Task: t.ID})
+// SlowNode implements faults.Injector.
+func (s *Sim) SlowNode(name string, factor float64) error {
+	if err := s.eng.SlowNode(name, factor); err != nil {
+		s.traceIgnored(name, err)
+		return err
 	}
+	return nil
+}
 
-	// Ready tasks may have lost an input with the node; recompute their
-	// producers before they run.
-	for _, t := range s.eng.DropReadyMissingInputs() {
-		s.eng.Resubmit(t.ID)
+// DrainNode implements faults.Injector.
+func (s *Sim) DrainNode(name string) error {
+	if err := s.eng.DrainNode(name); err != nil {
+		s.traceIgnored(name, err)
+		return err
 	}
-	s.eng.Schedule()
+	return nil
+}
+
+// Partition implements faults.Injector.
+func (s *Sim) Partition(a, b string) error { return s.eng.Partition(a, b) }
+
+// Heal implements faults.Injector.
+func (s *Sim) Heal(a, b string) error { return s.eng.Heal(a, b) }
+
+// traceIgnored records a no-op fault so scripted scenarios leave the same
+// audit trail on every backend.
+func (s *Sim) traceIgnored(node string, err error) {
+	s.cfg.Tracer.Record(trace.Event{
+		At: s.clock.Now(), Kind: trace.FaultIgnored, Node: node, Info: err.Error(),
+	})
 }
 
 // elasticStep applies one elasticity evaluation.

@@ -213,6 +213,7 @@ type Node struct {
 	freeMemMB int64
 	freeGPUs  int
 	running   int
+	drained   bool
 }
 
 // NewNode creates a node with all capacity free.
@@ -256,15 +257,39 @@ func (n *Node) Running() int {
 	return n.running
 }
 
+// Drain cordons the node: new reservations are refused while running work
+// keeps its capacity until released — the graceful half of deregistration
+// (a crash is Pool.Remove; a drain lets the scheduler bleed the node dry
+// first).
+func (n *Node) Drain() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.drained = true
+}
+
+// Undrain lifts a cordon.
+func (n *Node) Undrain() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.drained = false
+}
+
+// Drained reports whether the node is cordoned.
+func (n *Node) Drained() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.drained
+}
+
 // CanReserve reports whether the node currently has free capacity for c
-// (and statically satisfies it).
+// (and statically satisfies it). Drained nodes refuse all reservations.
 func (n *Node) CanReserve(c Constraints) bool {
 	if !n.desc.Satisfies(c) {
 		return false
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.fits(c)
+	return !n.drained && n.fits(c)
 }
 
 func (n *Node) fits(c Constraints) bool {
@@ -281,7 +306,7 @@ func (n *Node) Reserve(c Constraints) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if !n.fits(c) {
+	if n.drained || !n.fits(c) {
 		return ErrInsufficient
 	}
 	n.freeCores -= c.EffectiveCores()

@@ -88,7 +88,16 @@ func runTime(est time.Duration, n *resources.Node) time.Duration {
 	return time.Duration(float64(est) / sf)
 }
 
+// unreachablePenalty is the staging cost charged per input whose every
+// replica sits behind a cut link (network partition): large enough that
+// any reachable alternative wins, small enough that summing it over many
+// inputs cannot overflow a Duration.
+const unreachablePenalty = 24 * time.Hour
+
 // transferTime estimates the time to stage t's missing inputs onto n.
+// Inputs with replicas that are all unreachable from n (partitioned away)
+// cost unreachablePenalty each, steering cost-aware policies to nodes
+// that can actually be fed.
 func transferTime(t *TaskView, n *resources.Node, ctx *Context) time.Duration {
 	if ctx == nil || ctx.Registry == nil || ctx.Net == nil || len(t.InputKeys) == 0 {
 		return 0
@@ -102,7 +111,11 @@ func transferTime(t *TaskView, n *resources.Node, ctx *Context) time.Duration {
 		if len(sources) == 0 {
 			continue
 		}
-		_, tt, _ := ctx.Net.BestSource(n.Name(), sources, ctx.Registry.Size(k))
+		_, tt, ok := ctx.Net.BestSource(n.Name(), sources, ctx.Registry.Size(k))
+		if !ok {
+			total += unreachablePenalty
+			continue
+		}
 		total += tt
 	}
 	return total

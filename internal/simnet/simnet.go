@@ -11,6 +11,7 @@ package simnet
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -48,12 +49,20 @@ func normPair(a, b string) pair {
 
 // Network resolves links between named nodes. The zero value is not usable;
 // construct with New.
+//
+// The topology maps (links, zones) are built before a run and read-only
+// afterwards. The partition overlay (cuts) is the one piece of state that
+// mutates mid-run — fault injection severs and heals links while the
+// scheduler is consulting the network — so it has its own lock.
 type Network struct {
 	def       Link
 	links     map[pair]Link
 	zoneOf    map[string]string
 	zoneLinks map[pair]Link
 	intra     map[string]Link
+
+	cutMu sync.RWMutex
+	cuts  map[pair]struct{}
 }
 
 // New returns a network whose unresolved pairs use the given default link.
@@ -64,6 +73,7 @@ func New(def Link) *Network {
 		zoneOf:    make(map[string]string),
 		zoneLinks: make(map[pair]Link),
 		intra:     make(map[string]Link),
+		cuts:      make(map[pair]struct{}),
 	}
 }
 
@@ -92,6 +102,51 @@ func (n *Network) SetZoneLink(zoneA, zoneB string, l Link) {
 // zone.
 func (n *Network) SetIntraZone(zone string, l Link) {
 	n.intra[zone] = l
+}
+
+// Cut severs the connection between two endpoints — a network partition.
+// Each endpoint may be a node name or a zone name: cutting a zone pair
+// severs every link between nodes of those zones. Transfers across a cut
+// are impossible until Heal is called; BestSource skips unreachable
+// candidates. Safe for concurrent use with resolution queries.
+func (n *Network) Cut(a, b string) {
+	n.cutMu.Lock()
+	defer n.cutMu.Unlock()
+	n.cuts[normPair(a, b)] = struct{}{}
+}
+
+// Heal restores a connection previously severed by Cut.
+func (n *Network) Heal(a, b string) {
+	n.cutMu.Lock()
+	defer n.cutMu.Unlock()
+	delete(n.cuts, normPair(a, b))
+}
+
+// Reachable reports whether a transfer from a to b is currently possible:
+// neither the node pair, nor the zone pair, nor either mixed node–zone
+// pair is cut. A node always reaches itself.
+func (n *Network) Reachable(a, b string) bool {
+	if a == b {
+		return true
+	}
+	n.cutMu.RLock()
+	defer n.cutMu.RUnlock()
+	if len(n.cuts) == 0 {
+		return true
+	}
+	if _, cut := n.cuts[normPair(a, b)]; cut {
+		return false
+	}
+	za, zb := n.zoneOf[a], n.zoneOf[b]
+	for _, p := range [...]pair{normPair(za, zb), normPair(a, zb), normPair(za, b)} {
+		if p.a == "" || p.b == "" {
+			continue
+		}
+		if _, cut := n.cuts[p]; cut {
+			return false
+		}
+	}
+	return true
 }
 
 // LinkBetween resolves the effective link between two nodes. Transfers from
@@ -127,8 +182,9 @@ func (n *Network) TransferTime(a, b string, size int64) time.Duration {
 }
 
 // BestSource picks, among candidate source nodes, the one with the smallest
-// transfer time to dest for a payload of the given size. It returns the
-// chosen source and the transfer time. With no candidates it returns ok ==
+// transfer time to dest for a payload of the given size. Candidates behind
+// a cut link (see Cut) are skipped. It returns the chosen source and the
+// transfer time. With no candidates — or none reachable — it returns ok ==
 // false.
 func (n *Network) BestSource(dest string, candidates []string, size int64) (src string, t time.Duration, ok bool) {
 	if len(candidates) == 0 {
@@ -138,14 +194,17 @@ func (n *Network) BestSource(dest string, candidates []string, size int64) (src 
 	sorted := make([]string, len(candidates))
 	copy(sorted, candidates)
 	sort.Strings(sorted)
-	best := sorted[0]
-	bestT := n.TransferTime(best, dest, size)
-	for _, c := range sorted[1:] {
-		if ct := n.TransferTime(c, dest, size); ct < bestT {
-			best, bestT = c, ct
+	var best string
+	var bestT time.Duration
+	for _, c := range sorted {
+		if !n.Reachable(c, dest) {
+			continue
+		}
+		if ct := n.TransferTime(c, dest, size); !ok || ct < bestT {
+			best, bestT, ok = c, ct, true
 		}
 	}
-	return best, bestT, true
+	return best, bestT, ok
 }
 
 // String summarises the network configuration.

@@ -31,6 +31,11 @@ const (
 	NodeAdded     Kind = "node_added"
 	NodeRemoved   Kind = "node_removed"
 	NodeFailed    Kind = "node_failed"
+	NodeSlowed    Kind = "node_slowed"
+	NodeDrained   Kind = "node_drained"
+	LinkCut       Kind = "link_cut"
+	LinkHealed    Kind = "link_healed"
+	FaultIgnored  Kind = "fault_ignored"
 )
 
 // Event is one timestamped occurrence.

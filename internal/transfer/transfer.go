@@ -194,7 +194,9 @@ func NewManager(net *simnet.Network, reg *Registry) *Manager {
 func (m *Manager) Registry() *Registry { return m.reg }
 
 // PlanFetch computes the transfers needed so dest holds every key, choosing
-// the fastest source for each (replicas already local cost nothing).
+// the fastest source for each (replicas already local cost nothing). Keys
+// with no replica anywhere — or whose every replica sits behind a cut link
+// (network partition) — are reported as missing rather than planned.
 func (m *Manager) PlanFetch(dest string, keys []Key) Plan {
 	var p Plan
 	for _, k := range keys {
@@ -207,7 +209,11 @@ func (m *Manager) PlanFetch(dest string, keys []Key) Plan {
 			continue
 		}
 		size := m.reg.Size(k)
-		src, t, _ := m.net.BestSource(dest, sources, size)
+		src, t, ok := m.net.BestSource(dest, sources, size)
+		if !ok {
+			p.MissingKeys = append(p.MissingKeys, k)
+			continue
+		}
 		p.Time += t
 		p.Bytes += size
 		p.Moves = append(p.Moves, Move{Key: k, From: src, To: dest, Size: size})

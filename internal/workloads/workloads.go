@@ -397,6 +397,57 @@ func ProducerConsumerLoop(iters, readers int, readDur time.Duration) []infra.Tas
 	return specs
 }
 
+// ConformanceCase is one generator instance of the backend-conformance
+// suite: a named spec set, its staged-in data, and the single node able to
+// serialise it (one core, every required capability), so schedules are
+// fully determined by the engine's head selection and comparable
+// one-to-one between the live runtime and the simulator.
+type ConformanceCase struct {
+	// Name labels the generator.
+	Name string
+	// Specs is the workflow, laptop-scale.
+	Specs []infra.TaskSpec
+	// StageIn sizes externally provided data (version 0).
+	StageIn map[deps.DataID]int64
+	// Node describes the one pool node; single-core so both backends
+	// serialise identically.
+	Node resources.Description
+}
+
+// ConformanceSuite instantiates every generator in this package at a tiny,
+// deterministic scale for backend-parity sweeps. Multi-node stages are
+// scaled to one node: conformance compares scheduling decisions, not
+// parallel speedups.
+func ConformanceSuite() []ConformanceCase {
+	gwas := GWASConfig{
+		Chromosomes:         2,
+		ImputationsPerChrom: 3,
+		MeanTaskSeconds:     10,
+		LowMemMB:            1_000,
+		HighMemMB:           4_000,
+		HighMemFrac:         0.3,
+		InputFileMB:         5,
+		Seed:                7,
+	}
+	gwasSpecs, gwasStage := GWAS(gwas)
+	nmmb := NMMBConfig{
+		Cycles: 2, InitScripts: 3, InitSeconds: 5, ParallelInit: true,
+		MPINodes: 1, MPICores: 1, MPIMinutes: 1, PostSeconds: 5,
+	}
+	hpc1 := resources.Description{
+		Cores: 1, MemoryMB: 32_000, SpeedFactor: 1, Class: resources.HPC,
+	}
+	return []ConformanceCase{
+		{Name: "gwas", Specs: gwasSpecs, StageIn: gwasStage, Node: hpc1},
+		{Name: "nmmb", Specs: NMMB(nmmb), Node: hpc1},
+		{Name: "heterogeneous-mix", Specs: HeterogeneousMix(12, 3), Node: hpc1},
+		{Name: "embarrassingly-parallel", Specs: EmbarrassinglyParallel(10, 5*time.Second, 500), Node: hpc1},
+		{Name: "iterative-stencil", Specs: IterativeStencil(3, 4, 2*time.Second), Node: hpc1},
+		{Name: "producer-consumer", Specs: ProducerConsumerLoop(3, 3, 4*time.Second), Node: hpc1},
+		{Name: "map-reduce", Specs: MapReduce(4, 2, 3*time.Second, 5*time.Second, 2e6), Node: hpc1},
+	}
+}
+
 // MapReduce builds nMap mappers feeding nReduce reducers (each reducer
 // reads every mapper output), then one final collector.
 func MapReduce(nMap, nReduce int, mapDur, reduceDur time.Duration, shuffleBytes int64) []infra.TaskSpec {
