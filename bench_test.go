@@ -233,3 +233,18 @@ func BenchmarkA2PriorityAblation(b *testing.B) {
 	}
 	b.ReportMetric(gain, "ordering-gain")
 }
+
+// BenchmarkE13WorkStealing regenerates the work-stealing comparison:
+// makespan saved by steal-on-idle versus stealing off on the skewed
+// continuum workload.
+func BenchmarkE13WorkStealing(b *testing.B) {
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.E13WorkSteal(5, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = 1 - rows[1].Makespan.Seconds()/rows[0].Makespan.Seconds()
+	}
+	b.ReportMetric(saving*100, "%makespan-saved")
+}

@@ -17,7 +17,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
-	only := flag.String("only", "", "run a single experiment (e1..e12, a1, a2)")
+	only := flag.String("only", "", "run a single experiment (e1..e13, a1, a2)")
 	flag.Parse()
 	if err := run(*quick, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -33,6 +33,7 @@ func run(quick bool, only string) error {
 	all := []exp{
 		{"e1", e1}, {"e2", e2}, {"e3", e3}, {"e4", e4}, {"e5", e5}, {"e6", e6},
 		{"e7", e7}, {"e8", e8}, {"e9", e9}, {"e10", e10}, {"e11", e11}, {"e12", e12},
+		{"e13", e13},
 		{"a1", a1}, {"a2", a2},
 	}
 	for _, e := range all {
@@ -341,5 +342,24 @@ func e12(bool) error {
 	}
 	table("E12 — the same computation at four abstraction levels (Sec. V, Fig. 2)",
 		[]string{"level", "result", "wall time", "overhead vs plain Go"}, out)
+	return nil
+}
+
+func e13(quick bool) error {
+	nLong, nShort := 5, 400
+	if quick {
+		nShort = 200
+	}
+	rows, err := experiments.E13WorkSteal(nLong, nShort)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Mode, r.Makespan.Round(time.Second).String(),
+			fmt.Sprint(r.Steals), fmt.Sprintf("%.1f%%", r.Util*100)})
+	}
+	table("E13 — engine-level work stealing on a skewed continuum workload",
+		[]string{"steal mode", "makespan", "tasks stolen", "utilisation"}, out)
 	return nil
 }

@@ -8,14 +8,20 @@
 //	flowgo-sim -workload gwas -nodes 16 -policy locality
 //	flowgo-sim -workload nmmb -nodes 8 -policy eft
 //	flowgo-sim -workload mix -tasks 200 -nodes 4 -node-type fog -policy energy
+//	flowgo-sim -workload gwas -nodes 8 -faults "crash@2m:hpc001,slow@3m:hpc002x2"
+//	flowgo-sim -workload skew -nodes 8 -node-type fog -policy wait-fast -steal on-idle
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/engine"
+	"repro/internal/engine/faults"
 	"repro/internal/infra"
 	"repro/internal/mlpredict"
 	"repro/internal/resources"
@@ -34,15 +40,26 @@ func main() {
 
 func run() error {
 	var (
-		workload = flag.String("workload", "gwas", "gwas | nmmb | mix | mapreduce | stencil")
+		workload = flag.String("workload", "gwas", "gwas | nmmb | mix | mapreduce | stencil | skew")
 		nodes    = flag.Int("nodes", 4, "pool size")
 		nodeType = flag.String("node-type", "hpc", "hpc | cloud | fog")
-		policy   = flag.String("policy", "min-load", "fifo | min-load | locality | eft | ml | energy")
-		tasks    = flag.Int("tasks", 100, "task count (mix workload)")
+		policy   = flag.String("policy", "min-load", "fifo | min-load | locality | eft | ml | energy | wait-fast")
+		tasks    = flag.Int("tasks", 100, "task count (mix/skew workloads)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		gantt    = flag.Bool("gantt", false, "render a per-node Gantt chart")
+		faultStr = flag.String("faults", "", `fault script: "crash@2s:n0,slow@3s:n1x2,cut@4s:n0-n2,heal@8s:n0-n2,drain@10s:n1"`)
+		stealStr = flag.String("steal", "off", "work stealing: off | on-idle | threshold:<n>")
 	)
 	flag.Parse()
+
+	script, err := faults.Parse(*faultStr)
+	if err != nil {
+		return err
+	}
+	steal, err := parseSteal(*stealStr)
+	if err != nil {
+		return err
+	}
 
 	var desc resources.Description
 	switch *nodeType {
@@ -56,6 +73,17 @@ func run() error {
 		return fmt.Errorf("unknown node type %q", *nodeType)
 	}
 	pool := resources.NewPool()
+	poolDesc := fmt.Sprintf("%d × %s", *nodes, *nodeType)
+	if *workload == "skew" && *nodeType != "hpc" {
+		// The skew demo needs a fast tier for its long tasks: one
+		// reference-speed node ahead of the slow fleet.
+		if err := pool.Add(resources.NewNode("fast000", resources.Description{
+			Cores: 4, MemoryMB: 32_000, SpeedFactor: 1, Class: resources.HPC,
+		})); err != nil {
+			return err
+		}
+		poolDesc = "1 × fast + " + poolDesc
+	}
 	for i := 0; i < *nodes; i++ {
 		if err := pool.Add(resources.NewNode(fmt.Sprintf("%s%03d", *nodeType, i), desc)); err != nil {
 			return err
@@ -67,7 +95,7 @@ func run() error {
 	}
 
 	var specs []infra.TaskSpec
-	cfg := infra.Config{Pool: pool, Net: net, Policy: sched.ByName(*policy)}
+	cfg := infra.Config{Pool: pool, Net: net, Policy: sched.ByName(*policy), Faults: script, Steal: steal}
 	if *policy == "ml" {
 		cfg.Predictor = mlpredict.NewPredictor(10 * time.Second)
 	}
@@ -93,6 +121,11 @@ func run() error {
 		specs = workloads.MapReduce(*tasks, *tasks/8+1, 30*time.Second, time.Minute, 50e6)
 	case "stencil":
 		specs = workloads.IterativeStencil(10, *tasks/10+1, 20*time.Second)
+	case "skew":
+		// Long tasks first, shorts behind them in the same bucket: the
+		// work-stealing demonstration workload (pair with a heterogeneous
+		// pool, -policy wait-fast and -steal on-idle).
+		specs = workloads.SkewedTiers(*tasks/20+1, *tasks, 100*time.Second, 5*time.Second)
 	default:
 		return fmt.Errorf("unknown workload %q", *workload)
 	}
@@ -108,8 +141,16 @@ func run() error {
 	}
 
 	fmt.Printf("workload:        %s (%d tasks)\n", *workload, len(specs))
-	fmt.Printf("pool:            %d × %s (%d cores)\n", *nodes, *nodeType, pool.TotalCores())
+	fmt.Printf("pool:            %s (%d cores)\n", poolDesc, pool.TotalCores())
 	fmt.Printf("policy:          %s\n", *policy)
+	if steal.Mode != engine.StealOff {
+		st := sim.EngineStats()
+		fmt.Printf("work stealing:   %s (%d stolen)\n", steal.Mode, st.Steals)
+	}
+	if len(script) > 0 {
+		fmt.Printf("faults:          %d scripted, %d tasks killed, %d re-executions\n",
+			len(script), res.TasksFailed, res.TasksReExecuted)
+	}
 	fmt.Printf("makespan:        %v (simulated)\n", res.Makespan.Round(time.Second))
 	fmt.Printf("tasks completed: %d\n", res.TasksCompleted)
 	fmt.Printf("data moved:      %.2f GB over %v\n", float64(res.BytesMoved)/1e9, res.TransferTime.Round(time.Second))
@@ -127,4 +168,22 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// parseSteal reads the -steal flag: off, on-idle, or threshold:<n>.
+func parseSteal(s string) (engine.StealConfig, error) {
+	switch {
+	case s == "" || s == "off":
+		return engine.StealConfig{}, nil
+	case s == "on-idle":
+		return engine.StealConfig{Mode: engine.StealOnIdle}, nil
+	case strings.HasPrefix(s, "threshold:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "threshold:"))
+		if err != nil || n < 0 {
+			return engine.StealConfig{}, fmt.Errorf("bad steal threshold %q", s)
+		}
+		return engine.StealConfig{Mode: engine.StealThreshold, Threshold: n}, nil
+	default:
+		return engine.StealConfig{}, fmt.Errorf("unknown steal mode %q (want off | on-idle | threshold:<n>)", s)
+	}
 }

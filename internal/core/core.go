@@ -10,10 +10,13 @@
 // companion package internal/infra replays the same scheduling machinery
 // over virtual time for the scale experiments. Both are thin backends over
 // the shared scheduling engine (internal/engine) — one ready-queue,
-// placement loop and dependency-release path — alongside the shared access
-// processor (internal/deps), resource model (internal/resources) and
-// scheduling policies (internal/sched). Here the engine's Clock is wall
-// time and its Executor spawns a goroutine per placement.
+// placement loop, dependency-release path, fault surface and work-stealing
+// policy — alongside the shared access processor (internal/deps), resource
+// model (internal/resources) and scheduling policies (internal/sched).
+// Here the engine's Clock is wall time and its Executor spawns a goroutine
+// per placement; fault kills additionally cancel the execution's context,
+// and epoch-guarded completions keep orphaned goroutines from publishing
+// values. See docs/ARCHITECTURE.md for the task lifecycle on each backend.
 package core
 
 import (
@@ -63,6 +66,10 @@ type TaskDef struct {
 	// Constraints restrict placement (cores, memory, GPU, software,
 	// tier) and are evaluated dynamically at scheduling time.
 	Constraints resources.Constraints
+	// EstDuration declares the expected duration on a reference
+	// (SpeedFactor 1) core. Informed policies (EFT, WaitFast) consult it
+	// until the predictor has learned better; 0 means unknown.
+	EstDuration time.Duration
 	// Retries re-runs a failing task body up to this many extra times
 	// before the failure is reported (transient-fault tolerance).
 	Retries int
@@ -176,6 +183,10 @@ type Config struct {
 	// transfer books the simulator keeps, so both backends report
 	// identical transfer counts for the same DAG.
 	Net *simnet.Network
+	// Steal enables the engine's cross-bucket work stealing (default
+	// off); the simulator takes the identical knob, so steal decisions
+	// are comparable one-to-one across backends.
+	Steal engine.StealConfig
 }
 
 // versionSlot holds one produced value.
@@ -240,6 +251,7 @@ func New(cfg Config) *Runtime {
 		Registry: cfg.Locations,
 		Net:      cfg.Net,
 		Tracer:   cfg.Tracer,
+		Steal:    cfg.Steal,
 		SchedContext: &sched.Context{
 			Registry:  cfg.Locations,
 			Net:       cfg.Net,
@@ -420,6 +432,7 @@ func (rt *Runtime) buildTaskLocked(id int64, def TaskDef, params []Param, res de
 		ID:          id,
 		Class:       def.Name,
 		Constraints: def.Constraints,
+		EstDuration: def.EstDuration,
 		InputKeys:   keysOf(res.Reads),
 		OutputKeys:  keysOf(res.Writes),
 		Payload:     t,

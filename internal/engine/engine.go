@@ -15,6 +15,17 @@
 // (O(placements × signatures) rather than O(ready × nodes)), and a
 // completing task releases all of its successors under a single lock
 // acquisition.
+//
+// Buckets are strict FIFOs (per-signature priority order), which makes a
+// blocked head park its whole bucket until the next completion wave.
+// When the blocking is a policy decision — the head is waiting for a
+// busier, faster tier — idle slower nodes would sit unused even though
+// entries behind the head would gladly run on them. Work stealing
+// (Config.Steal) closes that gap: after the normal wave, the engine
+// re-offers entries behind each blocked head, deepest first, through the
+// identical placement path, so a stolen task keeps every dependency,
+// lineage and fault-recovery invariant of a normally placed one. See
+// docs/ARCHITECTURE.md for the full picture.
 package engine
 
 import (
@@ -131,6 +142,57 @@ type Task struct {
 	started    time.Duration
 }
 
+// StealMode selects the engine's cross-bucket work-stealing behaviour.
+//
+// A bucket whose head fails to place is parked for the rest of the wave.
+// When the failure is capacity (no node fits the signature) nothing
+// behind the head can run either — the signatures are identical — and
+// stealing has nothing to do. When the failure is a policy decision (the
+// head is holding out for a busier, faster tier; see sched.WaitFast),
+// entries behind the head may still be acceptable on the nodes the wave
+// left idle. Stealing re-offers those entries, deepest (lowest-priority,
+// newest) first, so the head keeps its claim on the tier it is waiting
+// for and bucket order is preserved for everything that is not stolen.
+type StealMode int
+
+// Steal modes.
+const (
+	// StealOff disables stealing: a blocked bucket waits for the next
+	// completion wave.
+	StealOff StealMode = iota
+	// StealOnIdle re-offers the entries behind every blocked head to the
+	// capacity the wave left idle, deepest entry first.
+	StealOnIdle
+	// StealThreshold steals like StealOnIdle, but only from buckets
+	// holding more than StealConfig.Threshold entries behind the blocked
+	// head — a backlog signal that avoids paying the scan for shallow
+	// queues that the next completion wave would drain anyway.
+	StealThreshold
+)
+
+// String returns the mode name.
+func (m StealMode) String() string {
+	switch m {
+	case StealOff:
+		return "off"
+	case StealOnIdle:
+		return "on-idle"
+	case StealThreshold:
+		return "threshold"
+	default:
+		return fmt.Sprintf("StealMode(%d)", int(m))
+	}
+}
+
+// StealConfig tunes work stealing (see StealMode).
+type StealConfig struct {
+	// Mode selects the behaviour; the zero value is StealOff.
+	Mode StealMode
+	// Threshold is the minimum number of entries behind a blocked head
+	// before StealThreshold mode will steal from the bucket.
+	Threshold int
+}
+
 // Config assembles an engine.
 type Config struct {
 	// Pool is the node set placements draw from. Required.
@@ -156,12 +218,17 @@ type Config struct {
 	Tracer *trace.Tracer
 	// SchedContext is handed to the policy on every decision. Optional.
 	SchedContext *sched.Context
+	// Steal enables cross-bucket work stealing (default off).
+	Steal StealConfig
 }
 
 // Stats counts engine activity since creation.
 type Stats struct {
 	// Launched counts task launches (re-executions count again).
 	Launched int
+	// Steals counts launches that bypassed a blocked bucket head (work
+	// stealing; every steal is also counted in Launched).
+	Steals int
 	// Completed counts live completions.
 	Completed int
 	// Reexecuted counts recovery re-runs of already-completed tasks.
@@ -429,7 +496,8 @@ func (e *Engine) Schedule() {
 // placeWaveLocked is the placement loop, appending into placed. A head
 // that cannot be placed blocks its whole signature for the rest of the
 // wave: placeability depends only on the constraint signature, so its
-// siblings cannot be placed either.
+// siblings cannot be placed either — except through a policy decline,
+// which is task-specific; the steal phase below revisits those.
 func (e *Engine) placeWaveLocked(placed []Placement) []Placement {
 	if e.readyN == 0 {
 		return placed
@@ -448,10 +516,10 @@ func (e *Engine) placeWaveLocked(placed []Placement) []Placement {
 			}
 		}
 		if best == nil {
-			return placed
+			break
 		}
-		p, ok := e.placeLocked(best)
-		if !ok {
+		p, outcome := e.placeLocked(best)
+		if outcome != placeOK {
 			bestB.blocked = e.wave
 			continue
 		}
@@ -459,19 +527,79 @@ func (e *Engine) placeWaveLocked(placed []Placement) []Placement {
 		bestB.q = bestB.q[1:]
 		e.readyN--
 	}
+	if e.cfg.Steal.Mode != StealOff && e.readyN > 0 {
+		placed = e.stealWaveLocked(placed)
+	}
+	return placed
 }
 
+// stealWaveLocked is the work-stealing phase of a placement wave: every
+// bucket the wave parked is re-scanned from the tail (the deepest,
+// lowest-priority entry) towards — but never including — the head, and
+// each entry is offered to whatever capacity the wave left idle through
+// the ordinary placement path. The head is never stolen: it keeps its
+// priority claim on the tier it is waiting for, and everything that is
+// not stolen keeps its bucket order. A signature-wide capacity failure
+// ends the bucket's scan at once — nothing shallower can fit either.
+//
+// A stolen task is indistinguishable from a normally placed one to the
+// rest of the engine: same reservation, staging, epoch and trace
+// choreography, so FailNode/Partition recovery applies to it unchanged.
+func (e *Engine) stealWaveLocked(placed []Placement) []Placement {
+	for _, b := range e.sigs {
+		if b.blocked != e.wave || len(b.q) < 2 {
+			continue
+		}
+		if e.cfg.Steal.Mode == StealThreshold && len(b.q)-1 <= e.cfg.Steal.Threshold {
+			continue
+		}
+		for i := len(b.q) - 1; i >= 1; i-- {
+			t := e.tasks[b.q[i]]
+			p, outcome := e.placeLocked(t)
+			if outcome == placeNoCapacity {
+				break
+			}
+			if outcome == placeDeclined {
+				continue
+			}
+			b.q = append(b.q[:i], b.q[i+1:]...)
+			e.readyN--
+			e.stats.Steals++
+			if e.cfg.Tracer != nil {
+				e.cfg.Tracer.Record(trace.Event{
+					At: e.cfg.Clock.Now(), Kind: trace.TaskStolen, Task: t.ID,
+					Node: p.Primary().Name(), Info: b.sig,
+				})
+			}
+			placed = append(placed, p)
+		}
+	}
+	return placed
+}
+
+// placeOutcome distinguishes why a placement attempt failed: capacity
+// failures are signature-wide (every sibling of the task fails too),
+// policy declines are task-specific (a sibling may still be accepted —
+// the distinction work stealing runs on).
+type placeOutcome int
+
+const (
+	placeOK placeOutcome = iota
+	placeNoCapacity
+	placeDeclined
+)
+
 // placeLocked tries to start one task now: policy choice, group
-// reservation, input staging. It reports success.
-func (e *Engine) placeLocked(t *Task) (Placement, bool) {
+// reservation, input staging.
+func (e *Engine) placeLocked(t *Task) (Placement, placeOutcome) {
 	fitting := e.cfg.Pool.Fitting(t.Constraints)
 	wantNodes := t.Constraints.EffectiveNodes()
 	if len(fitting) < wantNodes {
-		return Placement{}, false
+		return Placement{}, placeNoCapacity
 	}
 	primary := e.cfg.Policy.Pick(e.viewLocked(t), fitting, e.cfg.SchedContext)
 	if primary == nil {
-		return Placement{}, false
+		return Placement{}, placeDeclined
 	}
 	group := []*resources.Node{primary}
 	for _, n := range fitting {
@@ -483,14 +611,14 @@ func (e *Engine) placeLocked(t *Task) (Placement, bool) {
 		}
 	}
 	if len(group) < wantNodes {
-		return Placement{}, false
+		return Placement{}, placeNoCapacity
 	}
 	for i, n := range group {
 		if err := n.Reserve(t.Constraints); err != nil {
 			for _, done := range group[:i] {
 				done.Release(t.Constraints)
 			}
-			return Placement{}, false
+			return Placement{}, placeNoCapacity
 		}
 	}
 
@@ -531,7 +659,7 @@ func (e *Engine) placeLocked(t *Task) (Placement, bool) {
 			Node: primary.Name(), Info: t.Class,
 		})
 	}
-	return Placement{Task: t, Nodes: group, Epoch: t.epoch, TransferTime: staging, SlowFactor: slow}, true
+	return Placement{Task: t, Nodes: group, Epoch: t.epoch, TransferTime: staging, SlowFactor: slow}, placeOK
 }
 
 // Complete finishes a running task: reservations are released, outputs

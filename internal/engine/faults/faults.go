@@ -8,7 +8,9 @@
 // timer — and fires them into any Injector — the simulator or the live
 // runtime. The same script therefore produces the same kill/recover
 // choreography on both backends, which is what lets parity tests assert
-// identical re-execution counts across them.
+// identical re-execution counts across them. Scenarios are built in Go or
+// parsed from the compact CLI grammar ("crash@2s:n0,slow@3s:n1x2,
+// cut@4s:n0-n2"; see Parse) that cmd/flowgo-sim exposes as -faults.
 package faults
 
 import (

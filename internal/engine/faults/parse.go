@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a Scenario from the compact command-line grammar used by
+// cmd/flowgo-sim's -faults flag:
+//
+//	scenario := event ("," event)*
+//	event    := kind "@" offset ":" target
+//	kind     := "crash" | "slow" | "drain" | "cut" | "heal"
+//	offset   := Go duration (time.ParseDuration: "2s", "1m30s", …)
+//	target   := node                 crash, drain
+//	          | node "x" factor      slow   (factor > 0; 1 restores speed)
+//	          | node "-" node        cut, heal (two endpoints)
+//
+// Example: "crash@2s:n0,slow@3s:n1x2,cut@4s:n0-n2".
+//
+// Grammar limits: cut/heal endpoints must not contain '-', and a slow
+// target splits at its last 'x' — node names that end in x<number> would
+// be ambiguous. Names from the simulator's pools (n0, hpc003, fog7, …)
+// are all fine. The returned scenario is also structurally validated, so
+// a parsed script never fails later at arm time.
+func Parse(s string) (Scenario, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var sc Scenario
+	for i, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		ev, err := parseEvent(part)
+		if err != nil {
+			return nil, fmt.Errorf("faults: event %d (%q): %w", i, part, err)
+		}
+		sc = append(sc, ev)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	kindStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("missing '@' (want kind@offset:target)")
+	}
+	var kind Kind
+	switch kindStr {
+	case "crash":
+		kind = Crash
+	case "slow":
+		kind = Slow
+	case "drain":
+		kind = Drain
+	case "cut":
+		kind = Cut
+	case "heal":
+		kind = HealLink
+	default:
+		return Event{}, fmt.Errorf("unknown kind %q (want crash|slow|drain|cut|heal)", kindStr)
+	}
+	offStr, target, ok := strings.Cut(rest, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("missing ':' (want kind@offset:target)")
+	}
+	at, err := time.ParseDuration(offStr)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad offset %q: %v", offStr, err)
+	}
+	if at < 0 {
+		return Event{}, fmt.Errorf("negative offset %q", offStr)
+	}
+	ev := Event{At: at, Kind: kind}
+	switch kind {
+	case Crash, Drain:
+		ev.Node = target
+	case Slow:
+		// Split at the LAST 'x': factors are numeric, node names are not.
+		i := strings.LastIndex(target, "x")
+		if i <= 0 || i == len(target)-1 {
+			return Event{}, fmt.Errorf("slow target %q: want node'x'factor (e.g. n1x2)", target)
+		}
+		f, err := strconv.ParseFloat(target[i+1:], 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("slow factor %q: %v", target[i+1:], err)
+		}
+		ev.Node, ev.Factor = target[:i], f
+	case Cut, HealLink:
+		a, b, ok := strings.Cut(target, "-")
+		if !ok || a == "" || b == "" {
+			return Event{}, fmt.Errorf("link target %q: want a-b (two endpoints)", target)
+		}
+		ev.Node, ev.Peer = a, b
+	}
+	return ev, nil
+}

@@ -1,0 +1,65 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFullGrammar(t *testing.T) {
+	sc, err := Parse("crash@2s:n0, slow@3s:n1x2.5, cut@4s:n0-n2, heal@1m:n0-n2, drain@90s:fog3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Scenario{
+		{At: 2 * time.Second, Kind: Crash, Node: "n0"},
+		{At: 3 * time.Second, Kind: Slow, Node: "n1", Factor: 2.5},
+		{At: 4 * time.Second, Kind: Cut, Node: "n0", Peer: "n2"},
+		{At: time.Minute, Kind: HealLink, Node: "n0", Peer: "n2"},
+		{At: 90 * time.Second, Kind: Drain, Node: "fog3"},
+	}
+	if len(sc) != len(want) {
+		t.Fatalf("parsed %d events, want %d", len(sc), len(want))
+	}
+	for i := range want {
+		if sc[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, sc[i], want[i])
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	sc, err := Parse("  ")
+	if err != nil || sc != nil {
+		t.Fatalf("Parse(blank) = (%v, %v), want (nil, nil)", sc, err)
+	}
+}
+
+func TestParseSlowNodeNameWithX(t *testing.T) {
+	// Split at the LAST x, so names containing x still parse.
+	sc, err := Parse("slow@1s:xenon0x3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc[0].Node != "xenon0" || sc[0].Factor != 3 {
+		t.Fatalf("parsed %+v, want node xenon0 factor 3", sc[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"boom@2s:n0",      // unknown kind
+		"crash@2s",        // missing target separator
+		"crash:n0",        // missing offset
+		"crash@later:n0",  // unparsable offset
+		"crash@-2s:n0",    // negative offset
+		"slow@1s:n1",      // slow without factor
+		"slow@1s:n1x0",    // factor must be > 0 (Validate)
+		"slow@1s:n1xfast", // non-numeric factor
+		"cut@1s:n0",       // one endpoint
+		"cut@1s:-n2",      // empty endpoint
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}

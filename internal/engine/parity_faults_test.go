@@ -55,7 +55,7 @@ type faultParityOutcome struct {
 //	  → b killed; d1's only replica lost; a re-executes; b re-runs.
 //	c (3, cloud-pinned) reads d2 behind the cut: staging blocked, no move.
 //	After healing, e (4, cloud-pinned) reads d2: one real transfer.
-func runFaultScriptSim(t *testing.T) faultParityOutcome {
+func runFaultScriptSim(t *testing.T, steal engine.StealConfig) faultParityOutcome {
 	t.Helper()
 	tr := trace.New(0)
 	specs := []infra.TaskSpec{
@@ -79,6 +79,7 @@ func runFaultScriptSim(t *testing.T) faultParityOutcome {
 		Net:    simnet.New(simnet.Link{BandwidthMBps: 1000}),
 		Policy: sched.FIFO{},
 		Tracer: tr,
+		Steal:  steal,
 		Faults: faults.Scenario{
 			{At: 2 * time.Second, Kind: faults.Slow, Node: "n2", Factor: 3},
 			{At: 2 * time.Second, Kind: faults.Cut, Node: "n1", Peer: "n2"},
@@ -100,7 +101,7 @@ func runFaultScriptSim(t *testing.T) faultParityOutcome {
 	}
 }
 
-func runFaultScriptLive(t *testing.T) faultParityOutcome {
+func runFaultScriptLive(t *testing.T, steal engine.StealConfig) faultParityOutcome {
 	t.Helper()
 	tr := trace.New(0)
 	rt := core.New(core.Config{
@@ -109,6 +110,7 @@ func runFaultScriptLive(t *testing.T) faultParityOutcome {
 		Tracer:    tr,
 		Locations: transfer.NewRegistry(),
 		Net:       simnet.New(simnet.Link{BandwidthMBps: 1000}),
+		Steal:     steal,
 	})
 	defer rt.Shutdown()
 
@@ -214,34 +216,52 @@ func startOrder(tr *trace.Tracer) []int64 {
 }
 
 func TestFaultScriptParity(t *testing.T) {
-	sim := runFaultScriptSim(t)
-	live := runFaultScriptLive(t)
+	// The script must produce the same choreography with work stealing
+	// off and on: the FIFO policy never declines a placement, so no steal
+	// fires, and the knob must not disturb the fault/recovery path.
+	for _, mode := range []struct {
+		name  string
+		steal engine.StealConfig
+	}{
+		{"steal-off", engine.StealConfig{}},
+		{"steal-on-idle", engine.StealConfig{Mode: engine.StealOnIdle}},
+	} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			sim := runFaultScriptSim(t, mode.steal)
+			live := runFaultScriptLive(t, mode.steal)
 
-	if len(sim.order) != len(live.order) {
-		t.Fatalf("start sequences differ in length: sim %v vs live %v", sim.order, live.order)
-	}
-	for i := range sim.order {
-		if sim.order[i] != live.order[i] {
-			t.Fatalf("start order diverges at %d: sim %v vs live %v", i, sim.order, live.order)
-		}
-	}
-	if sim.failed != live.failed || sim.failed != 1 {
-		t.Fatalf("killed tasks: sim %d, live %d, want 1 each", sim.failed, live.failed)
-	}
-	if sim.stats.Reexecuted != live.stats.Reexecuted || sim.stats.Reexecuted != 1 {
-		t.Fatalf("re-execution counts: sim %d, live %d, want 1 each",
-			sim.stats.Reexecuted, live.stats.Reexecuted)
-	}
-	if sim.stats.Launched != live.stats.Launched {
-		t.Fatalf("launch counts diverge: sim %d vs live %d", sim.stats.Launched, live.stats.Launched)
-	}
-	if sim.stats.Transfers != live.stats.Transfers || sim.stats.Transfers != 1 {
-		t.Fatalf("transfer counts: sim %d, live %d, want 1 each (partition must block c's fetch)",
-			sim.stats.Transfers, live.stats.Transfers)
-	}
-	if sim.stats.BytesMoved != live.stats.BytesMoved || sim.stats.BytesMoved != 2e6 {
-		t.Fatalf("bytes moved: sim %d, live %d, want 2e6 each",
-			sim.stats.BytesMoved, live.stats.BytesMoved)
+			if len(sim.order) != len(live.order) {
+				t.Fatalf("start sequences differ in length: sim %v vs live %v", sim.order, live.order)
+			}
+			for i := range sim.order {
+				if sim.order[i] != live.order[i] {
+					t.Fatalf("start order diverges at %d: sim %v vs live %v", i, sim.order, live.order)
+				}
+			}
+			if sim.failed != live.failed || sim.failed != 1 {
+				t.Fatalf("killed tasks: sim %d, live %d, want 1 each", sim.failed, live.failed)
+			}
+			if sim.stats.Reexecuted != live.stats.Reexecuted || sim.stats.Reexecuted != 1 {
+				t.Fatalf("re-execution counts: sim %d, live %d, want 1 each",
+					sim.stats.Reexecuted, live.stats.Reexecuted)
+			}
+			if sim.stats.Launched != live.stats.Launched {
+				t.Fatalf("launch counts diverge: sim %d vs live %d", sim.stats.Launched, live.stats.Launched)
+			}
+			if sim.stats.Steals != live.stats.Steals || sim.stats.Steals != 0 {
+				t.Fatalf("steal counts: sim %d, live %d, want 0 each (FIFO never declines)",
+					sim.stats.Steals, live.stats.Steals)
+			}
+			if sim.stats.Transfers != live.stats.Transfers || sim.stats.Transfers != 1 {
+				t.Fatalf("transfer counts: sim %d, live %d, want 1 each (partition must block c's fetch)",
+					sim.stats.Transfers, live.stats.Transfers)
+			}
+			if sim.stats.BytesMoved != live.stats.BytesMoved || sim.stats.BytesMoved != 2e6 {
+				t.Fatalf("bytes moved: sim %d, live %d, want 2e6 each",
+					sim.stats.BytesMoved, live.stats.BytesMoved)
+			}
+		})
 	}
 }
 

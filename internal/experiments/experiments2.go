@@ -12,8 +12,12 @@ import (
 	"repro/dislib"
 	"repro/internal/agent"
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/infra"
 	"repro/internal/resources"
+	"repro/internal/sched"
 	"repro/internal/storage/dataclay"
+	"repro/internal/workloads"
 )
 
 // --- E5: dataClay method shipping ----------------------------------------
@@ -428,6 +432,71 @@ func E12AbstractionLevels(rows, cols, rowsPerBlock int) ([]E12Result, error) {
 		if r.Value != want {
 			return nil, fmt.Errorf("level %q computed %v, want %v", r.Level, r.Value, want)
 		}
+	}
+	return out, nil
+}
+
+// --- E13: engine-level work stealing --------------------------------------
+
+// E13Result is one row of the work-stealing comparison: the same skewed
+// workload under one steal mode.
+type E13Result struct {
+	Mode     string
+	Makespan time.Duration
+	Steals   int
+	Util     float64
+}
+
+// E13WorkSteal runs the SkewedTiers workload (long tasks that only the
+// fast tier may run, then a deep tail of short ones, all in one signature
+// bucket) on a 1-HPC + 8-fog pool under the tier-guarding WaitFast
+// policy, sweeping the engine's steal modes. Stealing-off shows the
+// head-of-line blocking: the fog tier idles while the short tail waits
+// behind the long head; stealing-on reclaims it.
+func E13WorkSteal(nLong, nShort int) ([]E13Result, error) {
+	mkPool := func() *resources.Pool {
+		pool := resources.NewPool()
+		_ = pool.Add(resources.NewNode("hpc0", resources.Description{
+			Cores: 4, MemoryMB: 32_000, SpeedFactor: 1, Class: resources.HPC,
+		}))
+		for i := 0; i < 8; i++ {
+			_ = pool.Add(resources.NewNode(fmt.Sprintf("fog%d", i), resources.Description{
+				Cores: 4, MemoryMB: 8_000, SpeedFactor: 0.25, Class: resources.Fog,
+			}))
+		}
+		return pool
+	}
+	specs := workloads.SkewedTiers(nLong, nShort, 100*time.Second, 5*time.Second)
+	modes := []struct {
+		name  string
+		steal engine.StealConfig
+	}{
+		{"off", engine.StealConfig{}},
+		{"on-idle", engine.StealConfig{Mode: engine.StealOnIdle}},
+		{"threshold:50", engine.StealConfig{Mode: engine.StealThreshold, Threshold: 50}},
+	}
+	var out []E13Result
+	for _, m := range modes {
+		pool := mkPool()
+		sim, err := infra.New(infra.Config{
+			Pool:   pool,
+			Net:    hpcNet(pool),
+			Policy: sched.WaitFast{Inner: sched.MinLoad{}, MaxSlowdown: 2, MinWait: 10 * time.Second},
+			Steal:  m.steal,
+		}, specs)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, E13Result{
+			Mode:     m.name,
+			Makespan: res.Makespan,
+			Steals:   sim.EngineStats().Steals,
+			Util:     res.Utilization,
+		})
 	}
 	return out, nil
 }

@@ -227,3 +227,20 @@ func TestE12AllLevelsAgree(t *testing.T) {
 		}
 	}
 }
+
+func TestE13StealingImprovesSkewedRun(t *testing.T) {
+	rows, err := E13WorkSteal(5, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, on := rows[0], rows[1]
+	if off.Steals != 0 || on.Steals == 0 {
+		t.Fatalf("steal counts off/on = %d/%d, want 0/>0", off.Steals, on.Steals)
+	}
+	if on.Makespan > off.Makespan {
+		t.Fatalf("stealing-on makespan %v worse than off %v", on.Makespan, off.Makespan)
+	}
+	if on.Util <= off.Util {
+		t.Fatalf("stealing-on utilisation %.2f not above off %.2f", on.Util, off.Util)
+	}
+}

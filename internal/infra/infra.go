@@ -10,9 +10,14 @@
 // completion event on the virtual clock, and energy is integrated per node.
 //
 // The simulator also models the paper's dynamic behaviours: elasticity
-// (Sec. VI-A), node failures with recovery through persisted data
-// (Sec. VI-B, experiment E7) and online learning of task durations
-// (Sec. VI-C, experiment E8).
+// (Sec. VI-A) with drain-then-remove downscaling that never kills running
+// work, node failures with recovery through persisted data (Sec. VI-B,
+// experiment E7), online learning of task durations (Sec. VI-C,
+// experiment E8), scripted fault scenarios (Config.Faults) and the
+// engine's cross-bucket work stealing (Config.Steal) — every knob
+// mirrored by the live runtime, so behaviour studied here is behaviour
+// the runtime executes. See docs/ARCHITECTURE.md for the task lifecycle
+// on each backend.
 package infra
 
 import (
@@ -96,6 +101,10 @@ type Config struct {
 	// Faults is a full fault script (crashes, slow nodes, drains, network
 	// partitions) armed on the virtual clock alongside Failures.
 	Faults faults.Scenario
+	// Steal enables the engine's cross-bucket work stealing (default
+	// off); the live runtime takes the identical knob, so steal decisions
+	// are comparable one-to-one across backends.
+	Steal engine.StealConfig
 	// Elastic enables pool scaling through the manager.
 	Elastic *resources.ElasticManager
 	// ElasticEvery is the evaluation period (default 10s).
@@ -198,6 +207,7 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 		Net:         cfg.Net,
 		PersistNode: cfg.PersistNode,
 		Tracer:      cfg.Tracer,
+		Steal:       cfg.Steal,
 		SchedContext: &sched.Context{
 			Registry:  s.reg,
 			Net:       cfg.Net,
@@ -269,6 +279,11 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 
 	for _, n := range cfg.Pool.Nodes() {
 		s.nodeAdded[n.Name()] = 0
+	}
+	if cfg.Elastic != nil {
+		// Downscale victims are cordoned through the engine, so the drain
+		// lands on the scheduler's books (and the trace) before removal.
+		cfg.Elastic.SetCordon(s.eng.DrainNode)
 	}
 	return s, nil
 }
@@ -460,6 +475,13 @@ func (s *Sim) elasticStep() {
 	pending := s.eng.ReadyCount()
 	switch s.cfg.Elastic.Evaluate(s.cfg.Pool, pending) {
 	case resources.Grow:
+		// A node mid-drain is the cheapest capacity there is: lift its
+		// cordon instead of paying the provider's provisioning delay.
+		if n := s.cfg.Elastic.Reclaim(); n != nil {
+			s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.NodeUndrained, Node: n.Name()})
+			s.eng.Schedule()
+			return
+		}
 		node, delay, err := s.cfg.Elastic.GrowOne(s.cfg.Pool)
 		if err != nil {
 			return

@@ -425,3 +425,93 @@ func TestPersistNodeFailureFallsBackToRecompute(t *testing.T) {
 		t.Fatalf("completed %d, want all 3", res.TasksCompleted)
 	}
 }
+
+// Downscaling must never kill running work: a shrink decision taken while
+// the only elastic node is mid-task cordons the node (engine DrainNode)
+// and removes it only after the task finishes — no kills, no recovery
+// re-executions.
+func TestShrinkNeverKillsRunningWork(t *testing.T) {
+	prov := resources.NewSimProvider("vm", resources.Description{
+		Cores: 8, MemoryMB: 8000, SpeedFactor: 1,
+	}, 1, 2*time.Second)
+	mgr := resources.NewElasticManager(prov, resources.ScalePolicy{
+		MaxNodes: 1, TasksPerCore: 2, IdleCoresToShrink: 0,
+	})
+	tr := trace.New(0)
+	// One long task on a fully elastic pool: while it runs, pending drops
+	// to zero and 7 of 8 cores idle, so every elastic tick decides Shrink.
+	sim, err := New(Config{
+		Pool:    resources.NewPool(),
+		Net:     flatNet(),
+		Policy:  sched.FIFO{},
+		Tracer:  tr,
+		Elastic: mgr, ElasticEvery: 5 * time.Second,
+	}, []TaskSpec{{ID: 1, Class: "long", Duration: time.Minute}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted != 1 || res.TasksFailed != 0 || res.TasksReExecuted != 0 {
+		t.Fatalf("completed/failed/re-executed = %d/%d/%d, want 1/0/0",
+			res.TasksCompleted, res.TasksFailed, res.TasksReExecuted)
+	}
+	if got := tr.Count(trace.NodeDrained); got == 0 {
+		t.Fatal("shrink decision never cordoned the busy node")
+	}
+	if got := tr.Count(trace.NodeRemoved); got != 0 {
+		t.Fatalf("node removed mid-run %d times; drain-then-remove must wait for idle", got)
+	}
+	// After the run the node has bled dry: the reap now removes it.
+	v, err := mgr.ShrinkOne(sim.cfg.Pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("drained node not reaped once idle")
+	}
+	if prov.Granted() != 0 {
+		t.Fatalf("provider still holds %d nodes", prov.Granted())
+	}
+}
+
+// A burst arriving while a node drains reclaims it (no provider round
+// trip) and the run completes.
+func TestReclaimDuringDrainServesNewLoad(t *testing.T) {
+	prov := resources.NewSimProvider("vm", resources.Description{
+		Cores: 4, MemoryMB: 8000, SpeedFactor: 1,
+	}, 1, 2*time.Second)
+	mgr := resources.NewElasticManager(prov, resources.ScalePolicy{
+		MaxNodes: 1, TasksPerCore: 2, IdleCoresToShrink: 0,
+	})
+	tr := trace.New(0)
+	specs := []TaskSpec{
+		{ID: 1, Class: "long", Duration: 30 * time.Second},
+		// The second task lands while the node is mid-drain (the shrink
+		// decision fires at the 5s/10s ticks, the long task holds the node
+		// busy until 37s): the manager must reclaim, not wedge.
+		{ID: 2, Class: "late", Duration: 10 * time.Second, Release: 12 * time.Second},
+	}
+	sim, err := New(Config{
+		Pool:    resources.NewPool(),
+		Net:     flatNet(),
+		Policy:  sched.FIFO{},
+		Tracer:  tr,
+		Elastic: mgr, ElasticEvery: 5 * time.Second,
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted != 2 || res.TasksFailed != 0 {
+		t.Fatalf("completed/failed = %d/%d, want 2/0", res.TasksCompleted, res.TasksFailed)
+	}
+	if got := tr.Count(trace.NodeUndrained); got == 0 {
+		t.Fatal("draining node was never reclaimed for the late burst")
+	}
+}

@@ -123,12 +123,21 @@ func (d ScaleDecision) String() string {
 // acquires/releases nodes through a Provider. Decisions are pure
 // (Evaluate); application is explicit (GrowOne / ShrinkOne) so both the
 // simulator (virtual time) and the live runtime (wall time) can drive it.
+//
+// Downscaling is a drain-then-remove cycle: ShrinkOne first cordons its
+// victim (no new placements land on it) and removes it only once every
+// running reservation has been released, so a scale-down decision can
+// never kill in-flight work. While a node is mid-drain, a load spike is
+// answered by Reclaim — the cordon is lifted instead of paying the
+// provider for a fresh node.
 type ElasticManager struct {
 	provider Provider
 	policy   ScalePolicy
+	cordon   func(name string) error // optional engine-backed drain hook
 
-	mu      sync.Mutex
-	elastic map[string]*Node // nodes this manager acquired
+	mu       sync.Mutex
+	elastic  map[string]*Node // nodes this manager acquired
+	draining map[string]*Node // cordoned, waiting to bleed dry
 }
 
 // NewElasticManager returns a manager bound to one provider.
@@ -137,7 +146,18 @@ func NewElasticManager(p Provider, policy ScalePolicy) *ElasticManager {
 		provider: p,
 		policy:   policy,
 		elastic:  make(map[string]*Node),
+		draining: make(map[string]*Node),
 	}
+}
+
+// SetCordon installs the hook ShrinkOne drains victims through —
+// engine-backed deployments pass Engine.DrainNode so the cordon lands on
+// the scheduler's books (and the trace) and not just on the node. Without
+// a hook the node is drained directly.
+func (m *ElasticManager) SetCordon(fn func(name string) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cordon = fn
 }
 
 // ElasticCount reports the nodes currently acquired by this manager.
@@ -147,13 +167,27 @@ func (m *ElasticManager) ElasticCount() int {
 	return len(m.elastic)
 }
 
+// DrainingCount reports the nodes currently mid-drain.
+func (m *ElasticManager) DrainingCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.draining)
+}
+
 // Evaluate decides whether the pool should grow, shrink or hold, given the
 // number of pending (unscheduled) tasks.
 func (m *ElasticManager) Evaluate(pool *Pool, pendingTasks int) ScaleDecision {
 	m.mu.Lock()
 	n := len(m.elastic)
+	drains := len(m.draining)
 	m.mu.Unlock()
 
+	// Pending work while a node is mid-drain: grow by reclaiming it. The
+	// node is already counted against MaxNodes, so this must not be gated
+	// on n < MaxNodes — otherwise a drained pool wedges under load.
+	if pendingTasks > 0 && drains > 0 {
+		return Grow
+	}
 	cores := pool.TotalCores()
 	if cores == 0 {
 		if pendingTasks > 0 && n < m.policy.MaxNodes {
@@ -168,6 +202,27 @@ func (m *ElasticManager) Evaluate(pool *Pool, pendingTasks int) ScaleDecision {
 		return Shrink
 	}
 	return Hold
+}
+
+// Reclaim cancels one pending drain-then-remove cycle: the cordon is
+// lifted and the node (lowest name first, deterministically) serves
+// placements again. It returns the reclaimed node, or nil when nothing is
+// draining — the free way to grow while a shrink is still in flight.
+func (m *ElasticManager) Reclaim() *Node {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n *Node
+	for _, d := range m.draining {
+		if n == nil || d.Name() < n.Name() {
+			n = d
+		}
+	}
+	if n == nil {
+		return nil
+	}
+	delete(m.draining, n.Name())
+	n.Undrain()
+	return n
 }
 
 // GrowOne acquires a node from the provider and adds it to the pool. It
@@ -187,26 +242,95 @@ func (m *ElasticManager) GrowOne(pool *Pool) (*Node, time.Duration, error) {
 	return node, delay, nil
 }
 
-// ShrinkOne removes one fully idle elastic node from the pool and releases
-// it to the provider. It returns the removed node, or nil if no elastic
-// node is idle.
+// ShrinkOne advances the drain-then-remove downscale cycle and returns
+// the node it removed from the pool, if any. Every victim is cordoned
+// (engine DrainNode when a cordon hook is installed, Node.Drain
+// otherwise) before it leaves the pool, so running work always finishes:
+//
+//   - a node already draining that has bled dry is removed and released
+//     to the provider (deterministically: lowest name first);
+//   - otherwise, with no drain in flight, one elastic node is cordoned —
+//     idle nodes are removed in the same call (their drain is complete by
+//     definition), busy nodes return nil now and are reaped by a later
+//     call once their reservations release.
+//
+// At most one node drains at a time, so a burst of Shrink decisions
+// cannot cordon the whole pool before the first removal lands.
 func (m *ElasticManager) ShrinkOne(pool *Pool) (*Node, error) {
 	m.mu.Lock()
+	// Phase 2: reap a drained node that has bled dry.
 	var victim *Node
-	for _, n := range m.elastic {
+	for _, n := range m.draining {
 		if n.Running() == 0 {
 			if victim == nil || n.Name() < victim.Name() {
-				victim = n // deterministic choice
+				victim = n
 			}
 		}
 	}
 	if victim != nil {
+		delete(m.draining, victim.Name())
 		delete(m.elastic, victim.Name())
+		m.mu.Unlock()
+		return m.removeVictim(pool, victim)
 	}
-	m.mu.Unlock()
+	if len(m.draining) > 0 {
+		m.mu.Unlock()
+		return nil, nil // the in-flight drain is still bleeding
+	}
+	// Phase 1: cordon a new victim, preferring idle nodes.
+	var idle, busy *Node
+	for _, n := range m.elastic {
+		if n.Running() == 0 {
+			if idle == nil || n.Name() < idle.Name() {
+				idle = n
+			}
+		} else if busy == nil || n.Name() < busy.Name() {
+			busy = n
+		}
+	}
+	cordon := m.cordon
+	victim = idle
 	if victim == nil {
+		victim = busy
+	}
+	if victim == nil {
+		m.mu.Unlock()
 		return nil, nil
 	}
+	// The victim sits in draining from selection until removal, so a
+	// concurrent ShrinkOne honours the one-drain-at-a-time invariant
+	// even while this call is between cordon and removal.
+	m.draining[victim.Name()] = victim
+	m.mu.Unlock()
+
+	if cordon != nil {
+		if err := cordon(victim.Name()); err != nil {
+			victim.Drain() // the hook could not see the node; cordon it directly
+		}
+	} else {
+		victim.Drain()
+	}
+	if idle == nil || victim.Running() > 0 {
+		// Busy victim — or a placement slipped in between the idle check
+		// and the cordon: the drain holds, removal waits for the work to
+		// finish (a later call reaps it).
+		return nil, nil
+	}
+	// Idle and cordoned: remove in the same call.
+	m.mu.Lock()
+	if _, still := m.draining[victim.Name()]; !still {
+		m.mu.Unlock()
+		return nil, nil // a concurrent Reclaim took the victim back
+	}
+	delete(m.draining, victim.Name())
+	delete(m.elastic, victim.Name())
+	m.mu.Unlock()
+	return m.removeVictim(pool, victim)
+}
+
+// removeVictim takes a fully drained victim out of the pool and hands it
+// back to the provider.
+func (m *ElasticManager) removeVictim(pool *Pool, victim *Node) (*Node, error) {
 	if err := pool.Remove(victim.Name()); err != nil {
 		return nil, err
 	}

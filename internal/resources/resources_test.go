@@ -220,7 +220,7 @@ func TestElasticGrowAndShrink(t *testing.T) {
 	_ = n
 }
 
-func TestShrinkSkipsBusyNodes(t *testing.T) {
+func TestShrinkNeverRemovesBusyNodes(t *testing.T) {
 	prov := NewSimProvider("cloud", CloudVM, 4, 0)
 	mgr := NewElasticManager(prov, ScalePolicy{MaxNodes: 4, IdleCoresToShrink: 0})
 	pool := NewPool()
@@ -228,12 +228,17 @@ func TestShrinkSkipsBusyNodes(t *testing.T) {
 	if err := n1.Reserve(Constraints{Cores: 1}); err != nil {
 		t.Fatal(err)
 	}
+	// A busy victim is cordoned (drain-then-remove), never removed while
+	// its reservation is live.
 	v, err := mgr.ShrinkOne(pool)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v != nil {
 		t.Fatalf("shrunk busy node %s", v.Name())
+	}
+	if pool.Len() != 1 {
+		t.Fatal("busy node left the pool")
 	}
 }
 
@@ -356,5 +361,113 @@ func TestFederationWithElasticManager(t *testing.T) {
 	}
 	if cheap.Granted() != 0 || big.Granted() != 0 {
 		t.Fatalf("after shrink: edge=%d cloud=%d", cheap.Granted(), big.Granted())
+	}
+}
+
+// Downscaling is drain-then-remove: a busy victim is cordoned first and
+// only removed once its running work has released — never killed.
+func TestShrinkDrainsBusyNodeBeforeRemoval(t *testing.T) {
+	prov := NewSimProvider("cloud", CloudVM, 4, 0)
+	mgr := NewElasticManager(prov, ScalePolicy{MaxNodes: 4, IdleCoresToShrink: 0})
+	pool := NewPool()
+	n1, _, _ := mgr.GrowOne(pool)
+	work := Constraints{Cores: 1}
+	if err := n1.Reserve(work); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: the busy node is cordoned, not removed.
+	v, err := mgr.ShrinkOne(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("removed busy node %s", v.Name())
+	}
+	if !n1.Drained() {
+		t.Fatal("busy victim not cordoned")
+	}
+	if mgr.DrainingCount() != 1 {
+		t.Fatalf("draining count = %d, want 1", mgr.DrainingCount())
+	}
+	if err := n1.Reserve(work); err == nil {
+		t.Fatal("cordoned node accepted a new reservation")
+	}
+	// Still bleeding: a second call removes nothing.
+	if v, _ := mgr.ShrinkOne(pool); v != nil {
+		t.Fatalf("removed still-busy node %s", v.Name())
+	}
+
+	// The work finishes; phase 2 reaps the node.
+	n1.Release(work)
+	v, err = mgr.ShrinkOne(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Name() != n1.Name() {
+		t.Fatalf("reaped %v, want %s", v, n1.Name())
+	}
+	if pool.Len() != 0 || prov.Granted() != 0 || mgr.ElasticCount() != 0 {
+		t.Fatalf("pool=%d granted=%d elastic=%d after reap, want all 0",
+			pool.Len(), prov.Granted(), mgr.ElasticCount())
+	}
+}
+
+// A load spike mid-drain reclaims the cordoned node instead of paying the
+// provider for a new one.
+func TestReclaimCancelsDrain(t *testing.T) {
+	prov := NewSimProvider("cloud", CloudVM, 1, 0)
+	mgr := NewElasticManager(prov, ScalePolicy{MaxNodes: 1, TasksPerCore: 1, IdleCoresToShrink: 0})
+	pool := NewPool()
+	n1, _, _ := mgr.GrowOne(pool)
+	work := Constraints{Cores: 1}
+	if err := n1.Reserve(work); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mgr.ShrinkOne(pool); v != nil {
+		t.Fatalf("removed busy node %s", v.Name())
+	}
+	// Pending work + a draining node ⇒ Grow, even at MaxNodes.
+	if d := mgr.Evaluate(pool, 5); d != Grow {
+		t.Fatalf("decision = %v, want grow (reclaim)", d)
+	}
+	n := mgr.Reclaim()
+	if n == nil || n.Name() != n1.Name() {
+		t.Fatalf("reclaimed %v, want %s", n, n1.Name())
+	}
+	if n1.Drained() || mgr.DrainingCount() != 0 {
+		t.Fatal("reclaimed node still cordoned")
+	}
+	n1.Release(work)
+	if err := n1.Reserve(work); err != nil {
+		t.Fatalf("reclaimed node refuses work: %v", err)
+	}
+}
+
+// The cordon hook (engine DrainNode in production) sees every victim.
+func TestShrinkUsesCordonHook(t *testing.T) {
+	prov := NewSimProvider("cloud", CloudVM, 1, 0)
+	mgr := NewElasticManager(prov, ScalePolicy{MaxNodes: 1, IdleCoresToShrink: 0})
+	pool := NewPool()
+	n1, _, _ := mgr.GrowOne(pool)
+	var cordoned []string
+	mgr.SetCordon(func(name string) error {
+		cordoned = append(cordoned, name)
+		n, ok := pool.Get(name)
+		if !ok {
+			t.Fatalf("cordon hook called for %s after pool removal", name)
+		}
+		n.Drain()
+		return nil
+	})
+	v, err := mgr.ShrinkOne(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Name() != n1.Name() {
+		t.Fatalf("shrunk %v, want idle %s", v, n1.Name())
+	}
+	if len(cordoned) != 1 || cordoned[0] != n1.Name() {
+		t.Fatalf("cordon hook saw %v, want [%s]", cordoned, n1.Name())
 	}
 }

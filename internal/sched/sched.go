@@ -296,6 +296,75 @@ func (p EnergyAware) Pick(t *TaskView, fitting []*resources.Node, ctx *Context) 
 	return best
 }
 
+// WaitFast wraps a policy with head-of-line tier discipline: a task whose
+// estimated reference duration is at least MinWait may only be placed on
+// nodes that run it within MaxSlowdown × that estimate — otherwise Pick
+// declines and the task waits for the busier, faster tier to free up
+// instead of occupying a slow one for many times longer. Short tasks
+// (below MinWait) run anywhere; they are cheap even on the slowest node.
+//
+// Declining parks the task's whole signature bucket for the wave, which
+// is exactly the head-of-line blocking the engine's work stealing
+// (engine.StealConfig) is built to bypass: long heads hold their claim on
+// the fast tier while short entries behind them are stolen onto the idle
+// slow nodes.
+type WaitFast struct {
+	// Inner picks among the acceptable nodes (nil ⇒ MinLoad).
+	Inner Policy
+	// MaxSlowdown bounds the accepted runtime stretch versus a reference
+	// (SpeedFactor 1) core (≤ 0 ⇒ 2).
+	MaxSlowdown float64
+	// MinWait is the estimate below which a task never waits (≤ 0 ⇒ 10s).
+	MinWait time.Duration
+}
+
+var _ Policy = WaitFast{}
+var _ Prioritizer = WaitFast{}
+
+// Name implements Policy.
+func (p WaitFast) Name() string { return "wait-fast" }
+
+// Pick implements Policy: it filters the fitting set down to nodes fast
+// enough for the task and delegates the choice to Inner; an empty
+// filtered set declines the placement.
+func (p WaitFast) Pick(t *TaskView, fitting []*resources.Node, ctx *Context) *resources.Node {
+	inner := p.Inner
+	if inner == nil {
+		inner = MinLoad{}
+	}
+	maxSlow := p.MaxSlowdown
+	if maxSlow <= 0 {
+		maxSlow = 2
+	}
+	minWait := p.MinWait
+	if minWait <= 0 {
+		minWait = 10 * time.Second
+	}
+	est := estimate(t, ctx)
+	if est >= minWait {
+		fast := make([]*resources.Node, 0, len(fitting))
+		for _, n := range fitting {
+			if float64(runTime(est, n)) <= maxSlow*float64(est) {
+				fast = append(fast, n)
+			}
+		}
+		if len(fast) == 0 {
+			return nil
+		}
+		fitting = fast
+	}
+	return inner.Pick(t, fitting, ctx)
+}
+
+// Priority implements Prioritizer by delegating to Inner when it ranks
+// ready tasks (equal priorities otherwise, i.e. submission order).
+func (p WaitFast) Priority(t *TaskView, ctx *Context) float64 {
+	if pr, ok := p.Inner.(Prioritizer); ok {
+		return pr.Priority(t, ctx)
+	}
+	return 0
+}
+
 // ByName returns the named policy, defaulting to FIFO.
 func ByName(name string) Policy {
 	switch name {
@@ -309,6 +378,8 @@ func ByName(name string) Policy {
 		return ML{}
 	case "energy":
 		return EnergyAware{}
+	case "wait-fast":
+		return WaitFast{}
 	default:
 		return FIFO{}
 	}

@@ -23,6 +23,7 @@ const (
 	TaskReady     Kind = "task_ready"
 	TaskScheduled Kind = "task_scheduled"
 	TaskStarted   Kind = "task_started"
+	TaskStolen    Kind = "task_stolen"
 	TaskCompleted Kind = "task_completed"
 	TaskFailed    Kind = "task_failed"
 	TaskRecovered Kind = "task_recovered"
@@ -33,6 +34,7 @@ const (
 	NodeFailed    Kind = "node_failed"
 	NodeSlowed    Kind = "node_slowed"
 	NodeDrained   Kind = "node_drained"
+	NodeUndrained Kind = "node_undrained"
 	LinkCut       Kind = "link_cut"
 	LinkHealed    Kind = "link_healed"
 	FaultIgnored  Kind = "fault_ignored"

@@ -318,6 +318,31 @@ func HeterogeneousMix(n int, seed int64) []infra.TaskSpec {
 	return specs
 }
 
+// SkewedTiers builds the head-of-line-blocking workload that motivates
+// engine-level work stealing: nLong long tasks submitted first, then
+// nShort short tasks, all independent and all sharing one unconstrained
+// signature — so every task queues in the same ready bucket in
+// submission order. On a heterogeneous pool under a tier-guarding policy
+// (sched.WaitFast) the long tasks saturate the fast tier and the next
+// long head parks the bucket, leaving the slow tier idle while the short
+// tail waits behind it; engine.StealOnIdle steals that tail onto the
+// idle slow nodes. The same specs run on both backends, so the skew is
+// usable in parity suites, benchmarks and experiments alike.
+func SkewedTiers(nLong, nShort int, longDur, shortDur time.Duration) []infra.TaskSpec {
+	specs := make([]infra.TaskSpec, 0, nLong+nShort)
+	for i := 0; i < nLong; i++ {
+		specs = append(specs, infra.TaskSpec{
+			ID: int64(i), Class: "skew.long", Duration: longDur,
+		})
+	}
+	for i := 0; i < nShort; i++ {
+		specs = append(specs, infra.TaskSpec{
+			ID: int64(nLong + i), Class: "skew.short", Duration: shortDur,
+		})
+	}
+	return specs
+}
+
 // EmbarrassinglyParallel builds n identical independent tasks.
 func EmbarrassinglyParallel(n int, dur time.Duration, memMB int64) []infra.TaskSpec {
 	specs := make([]infra.TaskSpec, n)
