@@ -17,7 +17,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
-	only := flag.String("only", "", "run a single experiment (e1..e13, a1, a2)")
+	only := flag.String("only", "", "run a single experiment (e1..e14, a1, a2)")
 	flag.Parse()
 	if err := run(*quick, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -33,7 +33,7 @@ func run(quick bool, only string) error {
 	all := []exp{
 		{"e1", e1}, {"e2", e2}, {"e3", e3}, {"e4", e4}, {"e5", e5}, {"e6", e6},
 		{"e7", e7}, {"e8", e8}, {"e9", e9}, {"e10", e10}, {"e11", e11}, {"e12", e12},
-		{"e13", e13},
+		{"e13", e13}, {"e14", e14},
 		{"a1", a1}, {"a2", a2},
 	}
 	for _, e := range all {
@@ -361,5 +361,34 @@ func e13(quick bool) error {
 	}
 	table("E13 — engine-level work stealing on a skewed continuum workload",
 		[]string{"steal mode", "makespan", "tasks stolen", "utilisation"}, out)
+	return nil
+}
+
+func e14(quick bool) error {
+	chrom, imput := 8, 50
+	everyNs := []int{5, 25, 100}
+	if quick {
+		chrom, imput = 4, 20
+		everyNs = []int{5, 20}
+	}
+	var out [][]string
+	for _, everyN := range everyNs {
+		r, err := experiments.E14CrashRestart(chrom, imput, everyN)
+		if err != nil {
+			return err
+		}
+		out = append(out, []string{
+			fmt.Sprintf("every:%d", r.EveryN),
+			fmt.Sprint(r.Tasks),
+			r.CrashAt.Round(time.Second).String(),
+			fmt.Sprintf("%d (%d snapshotted)", r.CompletedBeforeCrash, r.SnapshotTasks),
+			fmt.Sprint(r.Restored),
+			fmt.Sprint(r.RecomputedRestored),
+			r.ColdMakespan.Round(time.Second).String(),
+			r.ResumedMakespan.Round(time.Second).String(),
+		})
+	}
+	table("E14 — crash-restart durability: engine dies mid-run, resumes from the latest checkpoint",
+		[]string{"checkpoint", "tasks", "crash at", "done pre-crash", "restored", "recomputed", "cold makespan", "resumed makespan"}, out)
 	return nil
 }

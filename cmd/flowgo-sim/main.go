@@ -10,6 +10,12 @@
 //	flowgo-sim -workload mix -tasks 200 -nodes 4 -node-type fog -policy energy
 //	flowgo-sim -workload gwas -nodes 8 -faults "crash@2m:hpc001,slow@3m:hpc002x2"
 //	flowgo-sim -workload skew -nodes 8 -node-type fog -policy wait-fast -steal on-idle
+//
+// Crash-restart drill (E14): checkpoint periodically, simulate the whole
+// process dying mid-run, then resume from the latest valid snapshot:
+//
+//	flowgo-sim -workload gwas -nodes 8 -checkpoint every:25 -checkpoint-dir /tmp/ckpt -halt-at 5m
+//	flowgo-sim -workload gwas -nodes 8 -restore /tmp/ckpt
 package main
 
 import (
@@ -20,7 +26,10 @@ import (
 	"strings"
 	"time"
 
+	"errors"
+
 	"repro/internal/engine"
+	"repro/internal/engine/checkpoint"
 	"repro/internal/engine/faults"
 	"repro/internal/infra"
 	"repro/internal/mlpredict"
@@ -49,6 +58,10 @@ func run() error {
 		gantt    = flag.Bool("gantt", false, "render a per-node Gantt chart")
 		faultStr = flag.String("faults", "", `fault script: "crash@2s:n0,slow@3s:n1x2,cut@4s:n0-n2,heal@8s:n0-n2,drain@10s:n1"`)
 		stealStr = flag.String("steal", "off", "work stealing: off | on-idle | threshold:<n>")
+		ckptStr  = flag.String("checkpoint", "off", "checkpoint policy: off | interval:<d> | every:<n> | on-drain")
+		ckptDir  = flag.String("checkpoint-dir", "checkpoints", "snapshot directory for -checkpoint")
+		restore  = flag.String("restore", "", "resume from the latest valid snapshot in this directory")
+		haltAt   = flag.Duration("halt-at", 0, "kill the engine at this virtual instant (simulated process death)")
 	)
 	flag.Parse()
 
@@ -57,6 +70,10 @@ func run() error {
 		return err
 	}
 	steal, err := parseSteal(*stealStr)
+	if err != nil {
+		return err
+	}
+	ckptPolicy, err := checkpoint.ParsePolicy(*ckptStr)
 	if err != nil {
 		return err
 	}
@@ -95,7 +112,30 @@ func run() error {
 	}
 
 	var specs []infra.TaskSpec
-	cfg := infra.Config{Pool: pool, Net: net, Policy: sched.ByName(*policy), Faults: script, Steal: steal}
+	cfg := infra.Config{
+		Pool: pool, Net: net, Policy: sched.ByName(*policy),
+		Faults: script, Steal: steal, HaltAt: *haltAt,
+	}
+	var ckptStore *checkpoint.Store
+	if ckptPolicy.Mode != checkpoint.ModeOff {
+		ckptStore, err = checkpoint.NewStore(*ckptDir)
+		if err != nil {
+			return err
+		}
+		cfg.Checkpoint = &checkpoint.Config{Store: ckptStore, Policy: ckptPolicy}
+	}
+	var restoredFrom *checkpoint.Snapshot
+	if *restore != "" {
+		store, err := checkpoint.NewStore(*restore)
+		if err != nil {
+			return err
+		}
+		restoredFrom, err = store.Latest()
+		if err != nil {
+			return err
+		}
+		cfg.Restore = restoredFrom
+	}
 	if *policy == "ml" {
 		cfg.Predictor = mlpredict.NewPredictor(10 * time.Second)
 	}
@@ -136,7 +176,8 @@ func run() error {
 	}
 	start := time.Now()
 	res, err := sim.Run()
-	if err != nil {
+	halted := errors.Is(err, infra.ErrHalted)
+	if err != nil && !halted {
 		return err
 	}
 
@@ -150,6 +191,18 @@ func run() error {
 	if len(script) > 0 {
 		fmt.Printf("faults:          %d scripted, %d tasks killed, %d re-executions\n",
 			len(script), res.TasksFailed, res.TasksReExecuted)
+	}
+	if ckptStore != nil {
+		fmt.Printf("checkpoints:     %s → %s (%d on disk)\n",
+			ckptPolicy, ckptStore.Dir(), len(ckptStore.Snapshots()))
+	}
+	if restoredFrom != nil {
+		fmt.Printf("restored:        %d tasks from snapshot %d (%s)\n",
+			res.TasksRestored, restoredFrom.Seq, *restore)
+	}
+	if halted {
+		fmt.Printf("HALTED:          simulated process death at %v — %d/%d tasks completed; resume with -restore\n",
+			res.Makespan.Round(time.Second), res.TasksCompleted, len(specs))
 	}
 	fmt.Printf("makespan:        %v (simulated)\n", res.Makespan.Round(time.Second))
 	fmt.Printf("tasks completed: %d\n", res.TasksCompleted)

@@ -1,0 +1,138 @@
+// Checkpoint/restore on the live backend. The simulator's snapshots
+// carry a location catalog only; a live snapshot must additionally
+// persist the concrete Go values completed tasks produced, or a resumed
+// run would have nothing to seed futures and downstream materialisation
+// with. Capture therefore runs the shared engine capture and then
+// attaches a gob-encoded value to every catalog version the value table
+// holds; restore decodes them back into the value table at construction
+// time and, as the application re-submits the same workflow, resolves
+// each submission recorded as completed instead of executing it.
+// Resumability is cooperative: task IDs are assigned in submission
+// order, so the application must re-register and re-submit the workflow
+// in the order of the snapshotting run.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engine/checkpoint"
+	"repro/internal/trace"
+)
+
+// restoreState is the decoded snapshot a resuming runtime consumes.
+type restoreState struct {
+	completed map[int64]checkpoint.TaskRecord
+}
+
+// applyRestoreSeed decodes the snapshot into the fresh runtime: catalog
+// values re-enter the value table, and — when a location registry is
+// configured — sizes and surviving replica locations re-enter the
+// catalog, so the transfer planner re-stages anything a dependent later
+// misses. Called from New, before the runtime is visible to anyone.
+func (rt *Runtime) applyRestoreSeed(snap *checkpoint.Snapshot) {
+	if snap.Format != checkpoint.Format {
+		// Silently resuming cold would recompute a whole campaign without
+		// a word; this is a programming error (Store.Load already rejects
+		// unknown formats), so fail loudly like the simulator's ErrConfig.
+		panic(fmt.Sprintf("core: restore snapshot format %d, want %d", snap.Format, checkpoint.Format))
+	}
+	rs := &restoreState{completed: make(map[int64]checkpoint.TaskRecord, len(snap.Completed))}
+	for _, rec := range snap.Completed {
+		rs.completed[rec.ID] = rec
+	}
+	for _, en := range snap.Catalog {
+		if en.HasValue {
+			if val, ok := checkpoint.DecodeValue(en.Value); ok {
+				rt.values[en.Key.Version()] = versionSlot{val: val}
+			}
+		}
+		if rt.cfg.Locations == nil {
+			continue
+		}
+		k := en.Key.Key()
+		if en.Size > 0 {
+			rt.cfg.Locations.SetSize(k, en.Size)
+		}
+		for _, loc := range en.Locations {
+			if _, ok := rt.cfg.Pool.Get(loc); ok {
+				rt.cfg.Locations.AddReplica(k, loc)
+			}
+		}
+	}
+	rt.restore = rs
+}
+
+// tryRestoreLocked resolves a just-submitted task from the restore
+// snapshot: if the snapshot records it completed and every one of its
+// written versions has a restored value, the task is marked done in the
+// engine and its future completes immediately with those values — the
+// task never executes. Any gap (not in the snapshot, a value that did
+// not survive encoding, an error slot) leaves the task to run normally.
+// Caller holds rt.mu; reports whether the task was restored.
+func (rt *Runtime) tryRestoreLocked(t *rtTask) bool {
+	if rt.restore == nil {
+		return false
+	}
+	rec, ok := rt.restore.completed[t.et.ID]
+	if !ok {
+		return false
+	}
+	vals := make([]any, len(t.writes))
+	for i, w := range t.writes {
+		slot, present := rt.values[w]
+		if !present || slot.err != nil {
+			return false
+		}
+		vals[i] = slot.val
+	}
+	if !rt.eng.RestoreCompleted(t.et.ID, rec.Epoch) {
+		return false
+	}
+	rt.restored++
+	if rt.cfg.Tracer != nil {
+		rt.cfg.Tracer.Record(trace.Event{
+			At: rt.now(), Kind: trace.CheckpointRestored, Task: t.et.ID, Info: t.def.Name,
+		})
+	}
+	t.future.complete(vals, nil)
+	return true
+}
+
+// RestoredTasks reports how many submissions were resolved from the
+// restore snapshot instead of executing.
+func (rt *Runtime) RestoredTasks() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.restored
+}
+
+// CheckpointSnapshot implements checkpoint.Source: the shared engine
+// capture over the location registry, plus an encoded value per catalog
+// version the value table holds. Values that cannot be encoded (see
+// checkpoint.RegisterType) are left out; their producers re-run on
+// restore.
+func (rt *Runtime) CheckpointSnapshot() *checkpoint.Snapshot {
+	snap := checkpoint.Capture(rt.eng, rt.cfg.Locations)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i := range snap.Catalog {
+		slot, ok := rt.values[snap.Catalog[i].Key.Version()]
+		if !ok || slot.err != nil {
+			continue
+		}
+		if b, encoded := checkpoint.EncodeValue(slot.val); encoded {
+			snap.Catalog[i].Value = b
+			snap.Catalog[i].HasValue = true
+		}
+	}
+	return snap
+}
+
+// Checkpoint takes an on-demand snapshot (requires Config.Checkpoint
+// with a store).
+func (rt *Runtime) Checkpoint() error {
+	if rt.ckpt == nil {
+		return fmt.Errorf("core: no checkpoint store configured")
+	}
+	return rt.ckpt.Save()
+}

@@ -24,11 +24,14 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/deps"
 	"repro/internal/engine"
+	"repro/internal/engine/checkpoint"
+	"repro/internal/engine/faults"
 	"repro/internal/mlpredict"
 	"repro/internal/resources"
 	"repro/internal/sched"
@@ -187,6 +190,17 @@ type Config struct {
 	// off); the simulator takes the identical knob, so steal decisions
 	// are comparable one-to-one across backends.
 	Steal engine.StealConfig
+	// Checkpoint, when set (with a Store), snapshots the engine state
+	// and the produced values to disk under the configured policy, on
+	// wall time — the same policy the simulator drives on virtual time.
+	// Set Locations too: the snapshot's data catalog comes from it.
+	Checkpoint *checkpoint.Config
+	// Restore, when set, resumes a previous run from its snapshot: as
+	// the application re-submits the same workflow (same order, so task
+	// IDs line up), every submission the snapshot records as completed —
+	// with restorable output values — resolves immediately instead of
+	// executing.
+	Restore *checkpoint.Snapshot
 }
 
 // versionSlot holds one produced value.
@@ -204,8 +218,17 @@ type rtTask struct {
 	reads      []deps.Version
 	writes     []deps.Version
 	writeSizes []int64 // declared byte sizes per write (0 ⇒ measure)
-	future     *Future
-	cancel     context.CancelFunc // current execution's context (rt.mu)
+	// comm pairs each commutative parameter's index with the shared
+	// version it merges into (read version == write version).
+	comm   []commParam
+	future *Future
+	cancel context.CancelFunc // current execution's context (rt.mu)
+}
+
+// commParam locates one commutative parameter of an invocation.
+type commParam struct {
+	arg int // parameter index
+	ver deps.Version
 }
 
 // Runtime executes tasks. Create with New, stop with Shutdown.
@@ -213,10 +236,15 @@ type Runtime struct {
 	cfg  Config
 	proc *deps.Processor
 	eng  *engine.Engine
+	ckpt *checkpoint.Checkpointer
 
 	mu       sync.Mutex
 	defs     map[string]TaskDef
 	values   map[deps.Version]versionSlot
+	commMu   map[deps.Version]*sync.Mutex // commutative-group data locks
+	group    map[deps.Version][]*Future   // commutative member futures per version
+	restore  *restoreState
+	restored int
 	nextTask int64
 	nextData int64
 	stopped  bool
@@ -241,6 +269,8 @@ func New(cfg Config) *Runtime {
 		proc:   deps.NewProcessor(),
 		defs:   make(map[string]TaskDef),
 		values: make(map[deps.Version]versionSlot),
+		commMu: make(map[deps.Version]*sync.Mutex),
+		group:  make(map[deps.Version][]*Future),
 		epoch:  time.Now(),
 	}
 	rt.eng = engine.New(engine.Config{
@@ -258,6 +288,19 @@ func New(cfg Config) *Runtime {
 			Predictor: cfg.Predictor,
 		},
 	})
+	if cfg.Restore != nil {
+		rt.applyRestoreSeed(cfg.Restore)
+	}
+	if cfg.Checkpoint != nil && cfg.Checkpoint.Store != nil {
+		ck := *cfg.Checkpoint
+		if ck.Timer == nil {
+			ck.Timer = faults.NewWallTimer()
+		}
+		if ck.Tracer == nil {
+			ck.Tracer = cfg.Tracer
+		}
+		rt.ckpt = checkpoint.NewCheckpointer(ck, rt)
+	}
 	return rt
 }
 
@@ -394,14 +437,6 @@ func normalizeParams(params []Param) ([]Param, []deps.Access) {
 		if dir == 0 {
 			dir = deps.In
 		}
-		if dir == deps.Commutative {
-			// The live runtime binds written values through the version
-			// map, so truly unordered commutative members would lose
-			// updates; serialise them as INOUT here. The simulator
-			// (internal/infra) keeps the reordering freedom, which is
-			// where it pays off.
-			dir = deps.InOut
-		}
 		params[i].Dir = dir
 		accesses = append(accesses, deps.Access{Data: params[i].Handle.id, Dir: dir})
 	}
@@ -420,9 +455,29 @@ func (rt *Runtime) buildTaskLocked(id int64, def TaskDef, params []Param, res de
 		writeSizes: make([]int64, len(res.Writes)),
 		future:     &Future{done: make(chan struct{})},
 	}
-	wi := 0
-	for _, p := range params {
-		if p.Handle == nil || !p.Dir.Writes() {
+	wi, ri := 0, 0
+	for i, p := range params {
+		if p.Handle == nil {
+			continue
+		}
+		if p.Dir == deps.Commutative || p.Dir == deps.Concurrent {
+			// Group members share one version; WaitOn must wait for the
+			// whole group, not just the last-registered member.
+			rt.group[res.Reads[ri]] = append(rt.group[res.Reads[ri]], t.future)
+		}
+		if p.Dir == deps.Commutative {
+			// Commutative members additionally merge in place: record the
+			// parameter so execution runs the read-compute-bind of the
+			// shared datum under its merge lock (member order stays free;
+			// see execute). Concurrent members are deliberately excluded —
+			// their direction exists to run simultaneously against
+			// externally synchronised structures.
+			t.comm = append(t.comm, commParam{arg: i, ver: res.Reads[ri]})
+		}
+		if p.Dir.Reads() {
+			ri++
+		}
+		if !p.Dir.Writes() {
 			continue
 		}
 		t.writeSizes[wi] = p.Size
@@ -470,6 +525,9 @@ func (rt *Runtime) Submit(name string, params ...Param) (*Future, error) {
 	// finished; rt.mu is held through Add so a dependent can never slip in
 	// ahead of its producer's registration.
 	ready := rt.eng.Add(&t.et, res.Deps, 0)
+	if rt.tryRestoreLocked(t) {
+		ready = false
+	}
 	rt.mu.Unlock()
 	if ready {
 		rt.eng.Schedule()
@@ -516,14 +574,19 @@ func (rt *Runtime) SubmitAll(reqs []TaskReq) ([]*Future, error) {
 	results := rt.proc.RegisterBatch(batch)
 	futures := make([]*Future, len(reqs))
 	ets := make([]*engine.Task, len(reqs))
+	tasks := make([]*rtTask, len(reqs))
 	prods := make([][]deps.TaskID, len(reqs))
 	for i := range reqs {
 		t := rt.buildTaskLocked(base+int64(i)+1, defs[i], norm[i], results[i])
 		futures[i] = t.future
 		ets[i] = &t.et
+		tasks[i] = t
 		prods[i] = results[i].Deps
 	}
 	ready := rt.eng.AddBatch(ets, prods)
+	for _, t := range tasks {
+		rt.tryRestoreLocked(t)
+	}
 	rt.mu.Unlock()
 	if ready {
 		rt.eng.Schedule()
@@ -553,7 +616,11 @@ func (x *coreExecutor) Launch(p engine.Placement) {
 	if !ok {
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	// The placement's slow factor rides the context so cooperative task
+	// bodies (SlowSleep, SlowFactorFrom) degrade under slow-node drills
+	// the way the simulator stretches modelled durations.
+	ctx, cancel := context.WithCancel(context.WithValue(
+		context.Background(), slowFactorKey{}, p.SlowFactor))
 	rt.mu.Lock()
 	// A fault can invalidate the placement between the engine's wave and
 	// this launch (and even relaunch the task elsewhere): spawning the
@@ -595,6 +662,40 @@ func (rt *Runtime) materialiseLocked(t *rtTask) ([]any, error) {
 	return args, depErr
 }
 
+// commLocksLocked returns the data locks of a task's commutative
+// parameters in a canonical (Data, Ver) order, creating them on first
+// use. Caller holds rt.mu.
+func (rt *Runtime) commLocksLocked(t *rtTask) []*sync.Mutex {
+	if len(t.comm) == 0 {
+		return nil
+	}
+	vers := make([]deps.Version, 0, len(t.comm))
+	for _, c := range t.comm {
+		vers = append(vers, c.ver)
+	}
+	sort.Slice(vers, func(i, j int) bool {
+		if vers[i].Data != vers[j].Data {
+			return vers[i].Data < vers[j].Data
+		}
+		return vers[i].Ver < vers[j].Ver
+	})
+	locks := make([]*sync.Mutex, 0, len(vers))
+	var prev deps.Version
+	for i, v := range vers {
+		if i > 0 && v == prev {
+			continue
+		}
+		prev = v
+		mu, ok := rt.commMu[v]
+		if !ok {
+			mu = &sync.Mutex{}
+			rt.commMu[v] = mu
+		}
+		locks = append(locks, mu)
+	}
+	return locks
+}
+
 // execute runs one task on its reserved node group.
 func (rt *Runtime) execute(ctx context.Context, cancel context.CancelFunc, t *rtTask, epoch int, args []any, depErr error) {
 	defer rt.wg.Done()
@@ -602,6 +703,33 @@ func (rt *Runtime) execute(ctx context.Context, cancel context.CancelFunc, t *rt
 	var started time.Time
 	if rt.cfg.Predictor != nil {
 		started = time.Now()
+	}
+
+	// Commutative members are mutually exclusive on their datum for the
+	// whole read-compute-bind (like COMPSs, which grants commutative
+	// tasks the data in turn): a member's return value IS the new merged
+	// value, so another member interleaving mid-body would be clobbered.
+	// What stays free is the ORDER — members run as the scheduler picks
+	// them, with no member-member dependency edges. Locks are taken in
+	// canonical version order (no deadlocks) and the member's arguments
+	// are re-materialised under the lock, so each member sees the value
+	// the previous one left.
+	rt.mu.Lock()
+	locks := rt.commLocksLocked(t)
+	rt.mu.Unlock()
+	for _, l := range locks {
+		l.Lock()
+	}
+	if len(locks) > 0 {
+		rt.mu.Lock()
+		for _, c := range t.comm {
+			slot := rt.values[c.ver]
+			if slot.err != nil && depErr == nil {
+				depErr = fmt.Errorf("%w: input %v: %v", ErrDependencyFailed, c.ver, slot.err)
+			}
+			args[c.arg] = slot.val
+		}
+		rt.mu.Unlock()
 	}
 
 	var vals []any
@@ -654,13 +782,28 @@ func (rt *Runtime) execute(ctx context.Context, cancel context.CancelFunc, t *rt
 		}
 	}
 	rt.mu.Unlock()
+	for i := len(locks) - 1; i >= 0; i-- {
+		locks[i].Unlock()
+	}
 
 	// The engine releases the reservation, registers output replicas,
 	// frees every dependent under one lock acquisition, and immediately
 	// runs the next placement wave. A stale completion — the placement was
 	// invalidated by a fault — is rejected; the relaunched execution owns
 	// the future and the books.
-	if _, ok := rt.eng.CompleteSchedule(t.et.ID, epoch, err != nil); !ok {
+	var ok bool
+	if rt.ckpt != nil {
+		// Complete and notify the checkpointer before the next placement
+		// wave, so an every-N policy captures the same post-completion,
+		// pre-placement state the simulator captures.
+		if _, ok = rt.eng.Complete(t.et.ID, epoch, err != nil); ok {
+			rt.ckpt.TaskCompleted()
+		}
+		rt.eng.Schedule()
+	} else {
+		_, ok = rt.eng.CompleteSchedule(t.et.ID, epoch, err != nil)
+	}
+	if !ok {
 		return
 	}
 	if rt.cfg.Predictor != nil && err == nil {
@@ -685,16 +828,20 @@ func (rt *Runtime) WaitOn(h *Handle) (any, error) {
 	// version can never be current without its producer being findable.
 	rt.mu.Lock()
 	ver := rt.proc.CurrentVersion(h.id)
-	var fut *Future
+	var futs []*Future
 	if id, ok := rt.eng.Producer(transfer.KeyOf(ver)); ok {
 		if et, found := rt.eng.Task(id); found {
 			if t, isTask := et.Payload.(*rtTask); isTask {
-				fut = t.future
+				futs = append(futs, t.future)
 			}
 		}
 	}
+	// A commutative/concurrent group shares one version: the engine's
+	// producer map names only the last-registered member, but the merged
+	// value is ready only when every member has folded its update in.
+	futs = append(futs, rt.group[ver]...)
 	rt.mu.Unlock()
-	if fut != nil {
+	for _, fut := range futs {
 		if _, err := fut.Wait(); err != nil {
 			return nil, err
 		}
@@ -715,6 +862,9 @@ func (rt *Runtime) Barrier() {
 			}
 		})
 		if len(pending) == 0 {
+			if rt.ckpt != nil {
+				rt.ckpt.Drained() // the on-drain checkpoint trigger
+			}
 			return
 		}
 		for _, f := range pending {
@@ -804,4 +954,7 @@ func (rt *Runtime) Shutdown() {
 
 	rt.Barrier()
 	rt.wg.Wait()
+	if rt.ckpt != nil {
+		rt.ckpt.Stop()
+	}
 }

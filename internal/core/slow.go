@@ -1,0 +1,47 @@
+// Live slow-node fidelity. The simulator stretches a placement's
+// modelled duration by Placement.SlowFactor; real execution speed cannot
+// be stretched from outside, but the factor is carried into every task
+// body's context so cooperative bodies — anything that paces itself with
+// SlowSleep or budgets work by SlowFactorFrom — degrade under a
+// slow-node drill exactly like their simulated counterparts. This closes
+// the ROADMAP's "Placement.SlowFactor is metadata on the live backend"
+// gap: the same faults.Scenario slows both backends for real.
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// slowFactorKey carries Placement.SlowFactor into task bodies.
+type slowFactorKey struct{}
+
+// SlowFactorFrom returns the duration multiplier of the executing
+// placement's slowest node-group member (≥ 1; 1 when the body runs
+// outside the runtime or no slow-node drill touched its nodes). Task
+// bodies use it to throttle themselves under slow-node fault drills.
+func SlowFactorFrom(ctx context.Context) float64 {
+	if f, ok := ctx.Value(slowFactorKey{}).(float64); ok && f > 1 {
+		return f
+	}
+	return 1
+}
+
+// SlowSleep sleeps for d stretched by the placement's slow factor,
+// returning ctx.Err() early if the execution is cancelled (e.g. a fault
+// kill). Bodies that model compute with sleeps use it so slow-node
+// drills degrade live execution the same way the simulator stretches
+// modelled durations.
+func SlowSleep(ctx context.Context, d time.Duration) error {
+	if f := SlowFactorFrom(ctx); f > 1 {
+		d = time.Duration(float64(d) * f)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

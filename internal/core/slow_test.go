@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/resources"
+)
+
+// TestSlowFactorReachesTaskBodies: a slow-node drill must degrade live
+// executions through the context-carried throttle — the body observes
+// the injected factor and SlowSleep stretches accordingly.
+func TestSlowFactorReachesTaskBodies(t *testing.T) {
+	pool := resources.NewPool()
+	_ = pool.Add(resources.NewNode("n0", resources.Description{
+		Cores: 1, MemoryMB: 4000, SpeedFactor: 1,
+	}))
+	rt := New(Config{Pool: pool})
+	defer rt.Shutdown()
+
+	factors := make(chan float64, 2)
+	rans := make(chan time.Duration, 2)
+	const base = 10 * time.Millisecond
+	if err := rt.Register(TaskDef{Name: "paced", Fn: func(ctx context.Context, _ []any) ([]any, error) {
+		factors <- SlowFactorFrom(ctx)
+		start := time.Now()
+		if err := SlowSleep(ctx, base); err != nil {
+			return nil, err
+		}
+		rans <- time.Since(start)
+		return nil, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy node: factor 1, sleep ≈ base.
+	f, err := rt.Submit("paced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-factors; got != 1 {
+		t.Fatalf("healthy factor = %v, want 1", got)
+	}
+	<-rans
+
+	// Drilled node: factor 3 rides the context and stretches SlowSleep.
+	if err := rt.SlowNode("n0", 3); err != nil {
+		t.Fatal(err)
+	}
+	f, err = rt.Submit("paced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-factors; got != 3 {
+		t.Fatalf("drilled factor = %v, want 3", got)
+	}
+	if ran := <-rans; ran < 3*base {
+		t.Fatalf("SlowSleep ran %v, want ≥ %v (factor not applied)", ran, 3*base)
+	}
+}
+
+// TestSlowSleepCancellation: a fault kill must interrupt SlowSleep.
+func TestSlowSleepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- SlowSleep(ctx, time.Minute) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("SlowSleep returned nil after cancellation")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("SlowSleep did not return after cancellation")
+	}
+}

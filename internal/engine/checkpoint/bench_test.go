@@ -1,0 +1,71 @@
+package checkpoint_test
+
+import (
+	"testing"
+
+	"repro/internal/engine/checkpoint"
+	"repro/internal/infra"
+	"repro/internal/resources"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	"repro/internal/workloads"
+)
+
+// benchSim builds a completed mid-size simulation whose engine state a
+// checkpoint capture walks: ~2.3k tasks, full catalog.
+func benchSim(b *testing.B) *infra.Sim {
+	b.Helper()
+	g := workloads.DefaultGWAS()
+	g.Chromosomes = 23
+	g.ImputationsPerChrom = 100
+	specs, stageIn := workloads.GWAS(g)
+	pool := resources.NewPool()
+	for i := 0; i < 8; i++ {
+		_ = pool.Add(resources.NewNode(nodeName(i), resources.MareNostrumNode))
+	}
+	sim, err := infra.New(infra.Config{
+		Pool:    pool,
+		Net:     simnet.Continuum(),
+		Policy:  sched.MinLoad{},
+		StageIn: stageIn,
+	}, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return sim
+}
+
+func nodeName(i int) string { return "bn" + string(rune('0'+i)) }
+
+// BenchmarkCheckpointSnapshot measures capturing the engine + catalog
+// state of a ~2.3k-task run (no disk I/O).
+func BenchmarkCheckpointSnapshot(b *testing.B) {
+	sim := benchSim(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := sim.CheckpointSnapshot()
+		if len(snap.Completed) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// BenchmarkCheckpointSave measures the full snapshot → encode → hash →
+// atomic-write path.
+func BenchmarkCheckpointSave(b *testing.B) {
+	sim := benchSim(b)
+	store, err := checkpoint.NewStore(b.TempDir(), checkpoint.Keep(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Save(sim.CheckpointSnapshot()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+}

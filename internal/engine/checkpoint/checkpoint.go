@@ -1,0 +1,219 @@
+// Package checkpoint persists the scheduling engine's state — completed
+// tasks, the ready/pending frontier, the data catalog and activity
+// counters — to a versioned, content-addressed on-disk format, and
+// replays a snapshot into a fresh engine so a crashed run resumes with
+// only its unfinished tasks re-executing. Lineage recovery
+// (internal/engine/faults) survives losing a node; this package is the
+// durability layer that survives losing the whole process: the paper's
+// long-running scientific campaigns (multi-day GWAS sweeps, forecast
+// cycles) cannot afford to replay hours of completed work after a
+// runtime crash.
+//
+// The subsystem is backend-agnostic by the same construction as the
+// fault subsystem: policies (Off, Interval, EveryN, OnDrain) are driven
+// through a Timer — the simulator arms them on its virtual clock, the
+// live runtime on a wall-clock timer — and both backends implement
+// Source by delegating to engine.SnapshotTasks plus their own extras
+// (the live runtime attaches gob-encoded output values so futures can be
+// re-seeded on restore). Restore is cooperative: the application
+// re-registers the same workflow, the backend seeds the location
+// registry from the snapshot's catalog, marks recorded completions
+// through engine.RestoreCompleted, and the ordinary transfer planner
+// re-stages any data a dependent later misses. A task whose recorded
+// outputs cannot be restored (value not serialisable, every replica
+// location gone) is simply left to re-run — restore degrades to
+// recompute, never to wrong answers.
+package checkpoint
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/deps"
+	"repro/internal/engine"
+	"repro/internal/transfer"
+)
+
+// Format is the snapshot format version. Loaders reject snapshots from a
+// different format rather than guessing at field semantics.
+const Format = 1
+
+// CatalogKey names one immutable data version inside a snapshot.
+type CatalogKey struct {
+	Data int64 `json:"data"`
+	Ver  int   `json:"ver"`
+}
+
+// Key converts the snapshot form back to a transfer.Key.
+func (k CatalogKey) Key() transfer.Key {
+	return transfer.Key{Data: deps.DataID(k.Data), Ver: k.Ver}
+}
+
+// Version converts the snapshot form to the deps version it names.
+func (k CatalogKey) Version() deps.Version {
+	return deps.Version{Data: deps.DataID(k.Data), Ver: k.Ver}
+}
+
+// TaskRecord is one completed task in a snapshot.
+type TaskRecord struct {
+	// ID is the task's graph-unique ID (stable across restarts as long
+	// as the workflow is re-submitted in the same order).
+	ID int64 `json:"id"`
+	// Epoch is the placement counter at capture time.
+	Epoch int `json:"epoch"`
+	// Outputs lists the data versions the task produced.
+	Outputs []CatalogKey `json:"outputs,omitempty"`
+}
+
+// CatalogEntry records one data version: its size, its replica
+// locations, and — on the live backend — the encoded value itself.
+type CatalogEntry struct {
+	Key       CatalogKey `json:"key"`
+	Size      int64      `json:"size,omitempty"`
+	Locations []string   `json:"locations,omitempty"`
+	// Value is the gob-encoded produced value (live backend only; see
+	// EncodeValue). Absent values make the producing task re-run on
+	// restore rather than resolve to a wrong future.
+	Value    []byte `json:"value,omitempty"`
+	HasValue bool   `json:"has_value,omitempty"`
+}
+
+// Snapshot is one persisted engine state.
+type Snapshot struct {
+	// Format is the snapshot format version (see Format).
+	Format int `json:"format"`
+	// Seq is the store-assigned sequence number (monotonic per store).
+	Seq int `json:"seq"`
+	// At is the engine clock offset when the snapshot was captured
+	// (virtual time on the simulator, elapsed wall time live).
+	At time.Duration `json:"at"`
+	// Completed lists every task that has completed at least once and is
+	// not currently mid-re-execution.
+	Completed []TaskRecord `json:"completed"`
+	// Ready, Running and Pending record the scheduling frontier at
+	// capture time: queued-for-placement, holding reservations, and
+	// waiting on dependencies respectively. Running and Pending tasks
+	// re-run after a restore; the sets exist for diagnostics and for the
+	// backend-parity suite.
+	Ready   []int64 `json:"ready,omitempty"`
+	Running []int64 `json:"running,omitempty"`
+	Pending []int64 `json:"pending,omitempty"`
+	// Catalog is the data-version catalog (handle → size/locations, plus
+	// encoded values on the live backend).
+	Catalog []CatalogEntry `json:"catalog,omitempty"`
+	// Stats are the engine's activity counters at capture time.
+	Stats engine.Stats `json:"stats"`
+}
+
+// CompletedIDs returns the completed task IDs in snapshot order.
+func (s *Snapshot) CompletedIDs() []int64 {
+	out := make([]int64, len(s.Completed))
+	for i, r := range s.Completed {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// Capture assembles a snapshot of the engine's current state. reg, when
+// non-nil, supplies the data catalog (sizes and replica locations); the
+// live backend additionally attaches encoded values afterwards.
+func Capture(e *engine.Engine, reg *transfer.Registry) *Snapshot {
+	snap := &Snapshot{Format: Format, At: e.Now(), Stats: e.Stats()}
+	for _, ts := range e.SnapshotTasks() {
+		switch {
+		case ts.Completed && ts.State == engine.Done:
+			rec := TaskRecord{ID: ts.ID, Epoch: ts.Epoch}
+			for _, k := range ts.OutputKeys {
+				rec.Outputs = append(rec.Outputs, CatalogKey{Data: int64(k.Data), Ver: k.Ver})
+			}
+			snap.Completed = append(snap.Completed, rec)
+		case ts.State == engine.Ready:
+			snap.Ready = append(snap.Ready, ts.ID)
+		case ts.State == engine.Running:
+			snap.Running = append(snap.Running, ts.ID)
+		default:
+			snap.Pending = append(snap.Pending, ts.ID)
+		}
+	}
+	if reg != nil {
+		for _, en := range reg.Entries() {
+			snap.Catalog = append(snap.Catalog, CatalogEntry{
+				Key:       CatalogKey{Data: int64(en.Key.Data), Ver: en.Key.Ver},
+				Size:      en.Size,
+				Locations: en.Locations,
+			})
+		}
+	}
+	return snap
+}
+
+// Equivalent reports whether two snapshots describe the same logical
+// engine state: completed set, scheduling frontier, catalog keys, sizes
+// and locations, and the deterministic activity counters. Clock offsets,
+// sequence numbers and encoded values are ignored — they legitimately
+// differ between a wall-clock and a virtual-time backend. It returns nil
+// or an error naming the first difference; the backend-parity suite runs
+// on it.
+func Equivalent(a, b *Snapshot) error {
+	if len(a.Completed) != len(b.Completed) {
+		return fmt.Errorf("completed counts differ: %d vs %d", len(a.Completed), len(b.Completed))
+	}
+	for i := range a.Completed {
+		ra, rb := a.Completed[i], b.Completed[i]
+		if ra.ID != rb.ID {
+			return fmt.Errorf("completed[%d]: task %d vs %d", i, ra.ID, rb.ID)
+		}
+		if len(ra.Outputs) != len(rb.Outputs) {
+			return fmt.Errorf("completed task %d: %d vs %d outputs", ra.ID, len(ra.Outputs), len(rb.Outputs))
+		}
+		for j := range ra.Outputs {
+			if ra.Outputs[j] != rb.Outputs[j] {
+				return fmt.Errorf("completed task %d output %d: %+v vs %+v", ra.ID, j, ra.Outputs[j], rb.Outputs[j])
+			}
+		}
+	}
+	for _, set := range []struct {
+		name string
+		x, y []int64
+	}{{"ready", a.Ready, b.Ready}, {"running", a.Running, b.Running}, {"pending", a.Pending, b.Pending}} {
+		if len(set.x) != len(set.y) {
+			return fmt.Errorf("%s sets differ: %v vs %v", set.name, set.x, set.y)
+		}
+		for i := range set.x {
+			if set.x[i] != set.y[i] {
+				return fmt.Errorf("%s sets differ: %v vs %v", set.name, set.x, set.y)
+			}
+		}
+	}
+	if len(a.Catalog) != len(b.Catalog) {
+		return fmt.Errorf("catalog sizes differ: %d vs %d", len(a.Catalog), len(b.Catalog))
+	}
+	for i := range a.Catalog {
+		ca, cb := a.Catalog[i], b.Catalog[i]
+		if ca.Key != cb.Key {
+			return fmt.Errorf("catalog[%d]: key %+v vs %+v", i, ca.Key, cb.Key)
+		}
+		// A zero size means "unknown on this backend" (the simulator
+		// leaves undeclared outputs unsized; the live runtime measures
+		// the produced value) and is compatible with any measurement.
+		if ca.Size != cb.Size && ca.Size != 0 && cb.Size != 0 {
+			return fmt.Errorf("catalog[%d] %+v: size %d vs %d", i, ca.Key, ca.Size, cb.Size)
+		}
+		if len(ca.Locations) != len(cb.Locations) {
+			return fmt.Errorf("catalog %+v: locations %v vs %v", ca.Key, ca.Locations, cb.Locations)
+		}
+		for j := range ca.Locations {
+			if ca.Locations[j] != cb.Locations[j] {
+				return fmt.Errorf("catalog %+v: locations %v vs %v", ca.Key, ca.Locations, cb.Locations)
+			}
+		}
+	}
+	sa, sb := a.Stats, b.Stats
+	if sa.Launched != sb.Launched || sa.Completed != sb.Completed ||
+		sa.Restored != sb.Restored || sa.Reexecuted != sb.Reexecuted ||
+		sa.Steals != sb.Steals || sa.Transfers != sb.Transfers ||
+		sa.BytesMoved != sb.BytesMoved || sa.TransferTime != sb.TransferTime {
+		return fmt.Errorf("stats differ: %+v vs %+v", sa, sb)
+	}
+	return nil
+}

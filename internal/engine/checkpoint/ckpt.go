@@ -1,0 +1,156 @@
+package checkpoint
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Timer schedules a callback at an absolute offset from the run's epoch
+// — the same shape as faults.Timer, so *simclock.Clock and
+// faults.WallTimer both satisfy it and one checkpoint policy runs
+// unchanged on virtual and wall time.
+type Timer interface {
+	At(t time.Duration, fn func())
+}
+
+// Source produces snapshots. Both backends implement it — the simulator
+// and the live runtime each capture the shared engine's state plus their
+// own extras (the live runtime attaches encoded output values).
+type Source interface {
+	CheckpointSnapshot() *Snapshot
+}
+
+// Config wires a Checkpointer into a backend.
+type Config struct {
+	// Store receives snapshots. Required.
+	Store *Store
+	// Policy decides when snapshots are taken automatically.
+	Policy Policy
+	// Timer schedules ModeInterval policies. Backends default it to
+	// their own clock (virtual time on the simulator, a wall timer
+	// live); only set it to override that.
+	Timer Timer
+	// Tracer, when set, records a CheckpointSaved event per snapshot.
+	Tracer *trace.Tracer
+}
+
+// Checkpointer drives a Source against a Store under a Policy. Backends
+// call TaskCompleted after every completion and Drained when the run
+// finishes; interval policies fire from the Timer on their own. It is
+// safe for concurrent use — wall timers fire from their own goroutines.
+type Checkpointer struct {
+	cfg Config
+	src Source
+
+	mu          sync.Mutex
+	completions int
+	saves       int
+	lastSeq     int
+	lastErr     error
+	stopped     bool
+}
+
+// NewCheckpointer returns a checkpointer and, for interval policies,
+// arms the first timer callback.
+func NewCheckpointer(cfg Config, src Source) *Checkpointer {
+	c := &Checkpointer{cfg: cfg, src: src}
+	if cfg.Policy.Mode == ModeInterval && cfg.Timer != nil && cfg.Policy.Every > 0 {
+		c.arm(cfg.Policy.Every)
+	}
+	return c
+}
+
+// arm schedules the next interval snapshot at the absolute offset next,
+// re-arming itself after each firing until Stop.
+func (c *Checkpointer) arm(next time.Duration) {
+	c.cfg.Timer.At(next, func() {
+		c.mu.Lock()
+		stopped := c.stopped
+		c.mu.Unlock()
+		if stopped {
+			return
+		}
+		_ = c.Save()
+		c.arm(next + c.cfg.Policy.Every)
+	})
+}
+
+// TaskCompleted notifies the checkpointer of one task completion (the
+// ModeEveryN trigger). Backends call it after the engine completion, so
+// the snapshot includes the just-finished task.
+func (c *Checkpointer) TaskCompleted() {
+	if c.cfg.Policy.Mode != ModeEveryN || c.cfg.Policy.N <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.completions++
+	due := c.completions%c.cfg.Policy.N == 0
+	c.mu.Unlock()
+	if due {
+		_ = c.Save()
+	}
+}
+
+// Drained notifies the checkpointer that every submitted task has
+// finished (the ModeOnDrain trigger).
+func (c *Checkpointer) Drained() {
+	if c.cfg.Policy.Mode == ModeOnDrain {
+		_ = c.Save()
+	}
+}
+
+// Save captures and persists one snapshot immediately, regardless of
+// policy — the on-demand checkpoint.
+func (c *Checkpointer) Save() error {
+	snap := c.src.CheckpointSnapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return nil
+	}
+	path, err := c.cfg.Store.Save(snap)
+	if err != nil {
+		c.lastErr = err
+		return err
+	}
+	c.saves++
+	c.lastSeq = snap.Seq
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Record(trace.Event{
+			At: snap.At, Kind: trace.CheckpointSaved, Info: path,
+		})
+	}
+	return nil
+}
+
+// Stop disables further snapshots (armed interval callbacks become
+// no-ops). Pending wall timers are not cancelled, only neutered.
+func (c *Checkpointer) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.mu.Unlock()
+}
+
+// Saves returns how many snapshots have been persisted.
+func (c *Checkpointer) Saves() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saves
+}
+
+// LastSeq returns the sequence number of the newest persisted snapshot
+// (0 if none).
+func (c *Checkpointer) LastSeq() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSeq
+}
+
+// Err returns the most recent save error, if any.
+func (c *Checkpointer) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}

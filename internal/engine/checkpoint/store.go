@@ -1,0 +1,201 @@
+// The on-disk snapshot store: versioned, content-addressed, atomic.
+// Each snapshot is one JSON file named snap-<seq>-<digest>.ckpt, where
+// the digest is the truncated SHA-256 of the file's contents — the name
+// is a self-certifying claim the loader re-verifies, so a torn write, a
+// truncation or any bit-rot is detected and the loader falls back to the
+// previous valid snapshot instead of restoring garbage. Writes go
+// through a temp file and a rename, so a crash mid-save never corrupts
+// an existing snapshot.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Errors reported by the store.
+var (
+	// ErrNoSnapshot is returned by Latest when the directory holds no
+	// valid snapshot.
+	ErrNoSnapshot = errors.New("checkpoint: no valid snapshot found")
+	// ErrCorrupt is returned by Load for a snapshot whose contents do not
+	// match the digest in its name, cannot be parsed, or carry an
+	// unknown format version.
+	ErrCorrupt = errors.New("checkpoint: corrupt snapshot")
+)
+
+// digestLen is the number of hex characters of the SHA-256 kept in the
+// file name.
+const digestLen = 16
+
+// Store reads and writes snapshots in one directory. It is safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	keep int
+
+	mu  sync.Mutex
+	seq int
+}
+
+// StoreOption tunes NewStore.
+type StoreOption func(*Store)
+
+// Keep sets how many snapshots are retained on disk (older ones are
+// pruned after each save; default 5, minimum 2 so a corrupted latest
+// always has a fallback).
+func Keep(n int) StoreOption {
+	return func(s *Store) { s.keep = n }
+}
+
+// NewStore opens (creating if needed) a snapshot directory. Existing
+// snapshots are scanned so sequence numbers continue monotonically
+// across process restarts.
+func NewStore(dir string, opts ...StoreOption) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	s := &Store{dir: dir, keep: 5}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.keep < 2 {
+		s.keep = 2
+	}
+	for _, f := range s.list() {
+		if f.seq > s.seq {
+			s.seq = f.seq
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// snapFile is one parsed directory entry.
+type snapFile struct {
+	name   string
+	seq    int
+	digest string
+}
+
+// list returns the snapshot files in the directory, sorted by sequence
+// number ascending. Unparseable names are ignored.
+func (s *Store) list() []snapFile {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []snapFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		parts := strings.Split(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".ckpt"), "-")
+		if len(parts) != 2 {
+			continue
+		}
+		seq, err := strconv.Atoi(parts[0])
+		if err != nil {
+			continue
+		}
+		out = append(out, snapFile{name: name, seq: seq, digest: parts[1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Save assigns the snapshot the next sequence number and persists it
+// atomically, returning the file path. Snapshots beyond the retention
+// count are pruned, oldest first.
+func (s *Store) Save(snap *Snapshot) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	snap.Seq = s.seq
+	snap.Format = Format
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	name := fmt.Sprintf("snap-%06d-%s.ckpt", snap.Seq, hex.EncodeToString(sum[:])[:digestLen])
+	path := filepath.Join(s.dir, name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: commit: %w", err)
+	}
+	files := s.list()
+	for len(files) > s.keep {
+		_ = os.Remove(filepath.Join(s.dir, files[0].name))
+		files = files[1:]
+	}
+	return path, nil
+}
+
+// Load reads and verifies one snapshot file: the contents must hash to
+// the digest embedded in the name, parse as JSON, and carry the current
+// format version.
+func (s *Store) Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	name := filepath.Base(path)
+	parts := strings.Split(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".ckpt"), "-")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("%w: unrecognised name %q", ErrCorrupt, name)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:])[:digestLen] != parts[1] {
+		return nil, fmt.Errorf("%w: %s: digest mismatch", ErrCorrupt, name)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, name, err)
+	}
+	if snap.Format != Format {
+		return nil, fmt.Errorf("%w: %s: format %d, want %d", ErrCorrupt, name, snap.Format, Format)
+	}
+	return &snap, nil
+}
+
+// Latest returns the newest valid snapshot, skipping over corrupt or
+// truncated files to the previous valid one — a crash mid-write (or
+// on-disk damage) costs one checkpoint interval, not the whole run. It
+// returns ErrNoSnapshot when nothing valid remains.
+func (s *Store) Latest() (*Snapshot, error) {
+	files := s.list()
+	for i := len(files) - 1; i >= 0; i-- {
+		snap, err := s.Load(filepath.Join(s.dir, files[i].name))
+		if err == nil {
+			return snap, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNoSnapshot, s.dir)
+}
+
+// Snapshots returns the paths of all snapshot files, sequence-ascending
+// (validity not checked; see Load).
+func (s *Store) Snapshots() []string {
+	var out []string
+	for _, f := range s.list() {
+		out = append(out, filepath.Join(s.dir, f.name))
+	}
+	return out
+}

@@ -231,6 +231,9 @@ type Stats struct {
 	Steals int
 	// Completed counts live completions.
 	Completed int
+	// Restored counts tasks marked completed from a checkpoint snapshot
+	// instead of executing (RestoreCompleted; never counted in Launched).
+	Restored int
 	// Reexecuted counts recovery re-runs of already-completed tasks.
 	Reexecuted int
 	// Transfers counts planned input fetches (replica-miss moves).

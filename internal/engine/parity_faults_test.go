@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deps"
 	"repro/internal/engine"
+	"repro/internal/engine/checkpoint"
 	"repro/internal/engine/faults"
 	"repro/internal/infra"
 	"repro/internal/resources"
@@ -55,7 +56,7 @@ type faultParityOutcome struct {
 //	  → b killed; d1's only replica lost; a re-executes; b re-runs.
 //	c (3, cloud-pinned) reads d2 behind the cut: staging blocked, no move.
 //	After healing, e (4, cloud-pinned) reads d2: one real transfer.
-func runFaultScriptSim(t *testing.T, steal engine.StealConfig) faultParityOutcome {
+func runFaultScriptSim(t *testing.T, steal engine.StealConfig, ck *checkpoint.Config) faultParityOutcome {
 	t.Helper()
 	tr := trace.New(0)
 	specs := []infra.TaskSpec{
@@ -75,11 +76,12 @@ func runFaultScriptSim(t *testing.T, steal engine.StealConfig) faultParityOutcom
 			OutputBytes: map[deps.DataID]int64{4: 1e3}},
 	}
 	sim, err := infra.New(infra.Config{
-		Pool:   faultParityPool(),
-		Net:    simnet.New(simnet.Link{BandwidthMBps: 1000}),
-		Policy: sched.FIFO{},
-		Tracer: tr,
-		Steal:  steal,
+		Pool:       faultParityPool(),
+		Net:        simnet.New(simnet.Link{BandwidthMBps: 1000}),
+		Policy:     sched.FIFO{},
+		Tracer:     tr,
+		Steal:      steal,
+		Checkpoint: ck,
 		Faults: faults.Scenario{
 			{At: 2 * time.Second, Kind: faults.Slow, Node: "n2", Factor: 3},
 			{At: 2 * time.Second, Kind: faults.Cut, Node: "n1", Peer: "n2"},
@@ -101,16 +103,17 @@ func runFaultScriptSim(t *testing.T, steal engine.StealConfig) faultParityOutcom
 	}
 }
 
-func runFaultScriptLive(t *testing.T, steal engine.StealConfig) faultParityOutcome {
+func runFaultScriptLive(t *testing.T, steal engine.StealConfig, ck *checkpoint.Config) faultParityOutcome {
 	t.Helper()
 	tr := trace.New(0)
 	rt := core.New(core.Config{
-		Pool:      faultParityPool(),
-		Policy:    sched.FIFO{},
-		Tracer:    tr,
-		Locations: transfer.NewRegistry(),
-		Net:       simnet.New(simnet.Link{BandwidthMBps: 1000}),
-		Steal:     steal,
+		Pool:       faultParityPool(),
+		Policy:     sched.FIFO{},
+		Tracer:     tr,
+		Locations:  transfer.NewRegistry(),
+		Net:        simnet.New(simnet.Link{BandwidthMBps: 1000}),
+		Steal:      steal,
+		Checkpoint: ck,
 	})
 	defer rt.Shutdown()
 
@@ -228,8 +231,8 @@ func TestFaultScriptParity(t *testing.T) {
 	} {
 		mode := mode
 		t.Run(mode.name, func(t *testing.T) {
-			sim := runFaultScriptSim(t, mode.steal)
-			live := runFaultScriptLive(t, mode.steal)
+			sim := runFaultScriptSim(t, mode.steal, nil)
+			live := runFaultScriptLive(t, mode.steal, nil)
 
 			if len(sim.order) != len(live.order) {
 				t.Fatalf("start sequences differ in length: sim %v vs live %v", sim.order, live.order)

@@ -1,0 +1,113 @@
+// Checkpoint support — the engine-level half of the durability story.
+// Lineage recovery (faults.go) survives losing a *node*; surviving the
+// loss of the whole *process* needs the in-memory DAG state persisted
+// outside it. The engine exposes exactly two primitives for that:
+// SnapshotTasks dumps every task's lifecycle state under one lock
+// acquisition, and RestoreCompleted replays a completion recorded by an
+// earlier incarnation onto a freshly re-registered task so only
+// unfinished work re-runs. The on-disk format, the policies deciding
+// when to snapshot, and the backend wiring live in
+// internal/engine/checkpoint.
+package engine
+
+import (
+	"time"
+
+	"repro/internal/transfer"
+)
+
+// TaskSnap is one task's checkpoint-relevant state, captured by
+// SnapshotTasks.
+type TaskSnap struct {
+	// ID is the task's graph-unique ID.
+	ID int64
+	// Class is the task-class label.
+	Class string
+	// State is the lifecycle state at capture time.
+	State State
+	// Epoch is the placement counter (restored so completion events from
+	// a previous incarnation can never be mistaken for live ones).
+	Epoch int
+	// Completed reports whether the task has completed at least once (a
+	// Done task mid-lineage-re-run is Running with Completed true).
+	Completed bool
+	// OutputKeys lists the data versions the task produces. Engines
+	// without a replica registry drop the keys of done tasks, so
+	// checkpointing wants Config.Registry set.
+	OutputKeys []transfer.Key
+}
+
+// SnapshotTasks returns every registered task's lifecycle state, in
+// registration order, under a single lock acquisition — the raw material
+// of a checkpoint snapshot.
+func (e *Engine) SnapshotTasks() []TaskSnap {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]TaskSnap, 0, len(e.order))
+	for _, id := range e.order {
+		t := e.tasks[id]
+		s := TaskSnap{
+			ID: t.ID, Class: t.Class, State: t.state,
+			Epoch: t.epoch, Completed: t.completed,
+		}
+		if len(t.OutputKeys) > 0 {
+			s.OutputKeys = append([]transfer.Key(nil), t.OutputKeys...)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Now returns the engine clock's current offset from the run's epoch —
+// the timestamp a checkpoint snapshot carries.
+func (e *Engine) Now() time.Duration { return e.cfg.Clock.Now() }
+
+// RestoreCompleted marks a registered, not-yet-running task as already
+// completed — the restore half of checkpointing, called after the same
+// workflow has been re-registered in a fresh process. The task leaves
+// the ready queue if it was queued, its dependents are released exactly
+// as a live completion would release them, and its placement epoch is
+// fast-forwarded to at least the recorded one so stale completion events
+// from the previous incarnation stay invalid. Output replicas are NOT
+// re-registered here: the caller seeds the location registry from the
+// snapshot's data catalog (and the ordinary transfer planner re-stages
+// anything a dependent later misses). It reports false — and changes
+// nothing — for unknown, Running or already-completed tasks.
+func (e *Engine) RestoreCompleted(id int64, epoch int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tasks[id]
+	if !ok || t.state == Running || t.completed {
+		return false
+	}
+	if t.state == Ready {
+		b := e.ready[t.sig]
+		for i, qid := range b.q {
+			if qid == id {
+				b.q = append(b.q[:i], b.q[i+1:]...)
+				break
+			}
+		}
+		e.readyN--
+	}
+	if epoch > t.epoch {
+		t.epoch = epoch
+	}
+	t.state = Done
+	t.completed = true
+	e.stats.Restored++
+	for _, dep := range t.dependents {
+		dt := e.tasks[dep]
+		dt.waitCount--
+		if dt.waitCount == 0 && dt.state == Pending {
+			dt.state = Ready
+			e.pushReadyLocked(dt)
+		}
+	}
+	t.dependents = nil
+	if e.cfg.Registry == nil {
+		t.InputKeys = nil
+		t.OutputKeys = nil
+	}
+	return true
+}

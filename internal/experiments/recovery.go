@@ -57,10 +57,11 @@ func E7LiveRecoveryDrill(stages, width int) (E7DrillResult, error) {
 
 	const stageWork = 10 * time.Millisecond
 	err := rt.Register(core.TaskDef{Name: "fog.stage", Fn: func(ctx context.Context, args []any) ([]any, error) {
-		select {
-		case <-time.After(stageWork):
-		case <-ctx.Done():
-			return nil, ctx.Err() // killed by the drill; recovery re-runs us
+		// SlowSleep honors the drill's slow-node factor (fog2 runs its
+		// stages 2× slower below) and returns early on a fault kill, in
+		// which case recovery re-runs us.
+		if err := core.SlowSleep(ctx, stageWork); err != nil {
+			return nil, err
 		}
 		v, _ := args[0].(int)
 		return []any{v + 1}, nil

@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestE14NoRecomputeAfterRestart is the acceptance test of the
+// checkpoint subsystem: after a mid-run engine crash and a restore from
+// the latest snapshot, zero tasks the snapshot recorded as completed
+// execute again, and the resumed run launches exactly the unfinished
+// remainder.
+func TestE14NoRecomputeAfterRestart(t *testing.T) {
+	res, err := E14CrashRestart(4, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SnapshotTasks == 0 {
+		t.Fatal("no completed tasks in the restored snapshot; crash landed too early")
+	}
+	if res.Restored != res.SnapshotTasks {
+		t.Fatalf("restored %d of %d snapshot tasks (pool unchanged, all replicas should survive)",
+			res.Restored, res.SnapshotTasks)
+	}
+	if res.RecomputedRestored != 0 {
+		t.Fatalf("%d restored tasks re-executed after restart, want 0", res.RecomputedRestored)
+	}
+	if want := res.Tasks - res.Restored; res.ResumedLaunches != want {
+		t.Fatalf("resumed run launched %d tasks, want %d (the unfinished remainder)",
+			res.ResumedLaunches, want)
+	}
+	if res.ResumedMakespan >= res.ColdMakespan {
+		t.Fatalf("resumed makespan %v not shorter than cold %v — restore bought nothing",
+			res.ResumedMakespan, res.ColdMakespan)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/deps"
 	"repro/internal/energy"
 	"repro/internal/engine"
+	"repro/internal/engine/checkpoint"
 	"repro/internal/engine/faults"
 	"repro/internal/mlpredict"
 	"repro/internal/resources"
@@ -105,6 +106,23 @@ type Config struct {
 	// off); the live runtime takes the identical knob, so steal decisions
 	// are comparable one-to-one across backends.
 	Steal engine.StealConfig
+	// Checkpoint, when set (with a Store), snapshots the engine state to
+	// disk under the configured policy, on the virtual clock — the same
+	// policy the live runtime drives on wall time.
+	Checkpoint *checkpoint.Config
+	// Restore, when set, replays a snapshot into this simulation before
+	// it runs: tasks the snapshot records as completed (and whose output
+	// replicas survive on this pool) are marked done instead of
+	// executing, and the data catalog re-seeds the location registry so
+	// the transfer planner re-stages anything a dependent misses.
+	// Task IDs must match the snapshotting run's (same specs, same
+	// order).
+	Restore *checkpoint.Snapshot
+	// HaltAt, when positive, stops the event loop at that virtual
+	// instant — the simulated equivalent of the whole process dying
+	// mid-run (experiment E14). Run returns ErrHalted with the partial
+	// result.
+	HaltAt time.Duration
 	// Elastic enables pool scaling through the manager.
 	Elastic *resources.ElasticManager
 	// ElasticEvery is the evaluation period (default 10s).
@@ -127,6 +145,9 @@ type Result struct {
 	// TasksReExecuted counts recovery re-runs of already-completed tasks
 	// (recompute of lost data).
 	TasksReExecuted int
+	// TasksRestored counts tasks resolved from a checkpoint snapshot
+	// instead of executing (Config.Restore).
+	TasksRestored int
 	// BytesMoved is the total payload transferred between nodes.
 	BytesMoved int64
 	// TransferTime is the summed transfer time on task critical paths.
@@ -155,12 +176,14 @@ type Sim struct {
 	acct  *energy.Accountant
 	proc  *deps.Processor
 	eng   *engine.Engine
+	ckpt  *checkpoint.Checkpointer
 
 	result        Result
 	releases      []release
 	nodeAdded     map[string]time.Duration
 	remaining     int
 	schedDeferred bool
+	halted        bool
 	err           error
 }
 
@@ -175,6 +198,10 @@ var (
 	ErrStuck       = errors.New("infra: tasks cannot be scheduled (unsatisfiable constraints or empty pool)")
 	ErrConfig      = errors.New("infra: invalid config")
 	ErrDuplicateID = errors.New("infra: duplicate task ID")
+	// ErrHalted reports a run stopped by Config.HaltAt — the simulated
+	// process death of the crash-restart experiments. The partial result
+	// is still returned; resume from the latest checkpoint snapshot.
+	ErrHalted = errors.New("infra: run halted (simulated process death)")
 )
 
 // New validates the config and registers the workflow.
@@ -285,7 +312,102 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 		// lands on the scheduler's books (and the trace) before removal.
 		cfg.Elastic.SetCordon(s.eng.DrainNode)
 	}
+	if cfg.Restore != nil {
+		if cfg.Restore.Format != checkpoint.Format {
+			return nil, fmt.Errorf("%w: snapshot format %d, want %d",
+				ErrConfig, cfg.Restore.Format, checkpoint.Format)
+		}
+		s.applyRestore(cfg.Restore)
+	}
+	if cfg.Checkpoint != nil && cfg.Checkpoint.Store != nil {
+		ck := *cfg.Checkpoint
+		if ck.Timer == nil {
+			ck.Timer = ckptTimer{s}
+		}
+		if ck.Tracer == nil {
+			ck.Tracer = cfg.Tracer
+		}
+		s.ckpt = checkpoint.NewCheckpointer(ck, s)
+	}
 	return s, nil
+}
+
+// ckptTimer adapts the virtual clock for interval checkpoints, gating
+// each firing on simulation liveness: when a checkpoint event pops and
+// nothing else is scheduled, the run has drained, halted or wedged, and
+// firing (which would save and re-arm) would keep the event heap
+// non-empty forever — masking the ErrStuck detection, which relies on
+// the clock draining. Dropping the callback ends the interval chain;
+// completions still pending in the heap mean the run is alive and the
+// chain continues.
+type ckptTimer struct{ s *Sim }
+
+// At implements checkpoint.Timer.
+func (t ckptTimer) At(at time.Duration, fn func()) {
+	t.s.clock.At(at, func() {
+		if t.s.remaining == 0 || t.s.halted || t.s.clock.Pending() == 0 {
+			return
+		}
+		fn()
+	})
+}
+
+// applyRestore replays a snapshot: the data catalog re-seeds the
+// location registry (replicas only on nodes this incarnation's pool
+// actually holds, plus the persist tier), then every recorded completion
+// whose outputs all kept at least one live replica is marked done in the
+// engine — its dependents release exactly as a live completion would
+// have released them. Completed tasks whose data did not survive are
+// left alone: they re-run, and lineage recovery recomputes what they
+// need.
+func (s *Sim) applyRestore(snap *checkpoint.Snapshot) {
+	for _, en := range snap.Catalog {
+		k := en.Key.Key()
+		if en.Size > 0 {
+			s.reg.SetSize(k, en.Size)
+		}
+		for _, loc := range en.Locations {
+			if _, ok := s.cfg.Pool.Get(loc); ok || loc == s.cfg.PersistNode {
+				s.reg.AddReplica(k, loc)
+			}
+		}
+	}
+	restored := 0
+	for _, rec := range snap.Completed {
+		alive := true
+		for _, out := range rec.Outputs {
+			if len(s.reg.Where(out.Key())) == 0 {
+				alive = false
+				break
+			}
+		}
+		if !alive {
+			continue
+		}
+		if s.eng.RestoreCompleted(rec.ID, rec.Epoch) {
+			restored++
+			s.remaining--
+		}
+	}
+	s.result.TasksRestored = restored
+	s.cfg.Tracer.Record(trace.Event{
+		Kind: trace.CheckpointRestored,
+		Info: fmt.Sprintf("%d/%d completed tasks (snapshot %d)", restored, len(snap.Completed), snap.Seq),
+	})
+}
+
+// CheckpointSnapshot implements checkpoint.Source: the engine's task
+// table plus the simulator's location registry as the data catalog.
+func (s *Sim) CheckpointSnapshot() *checkpoint.Snapshot {
+	return checkpoint.Capture(s.eng, s.reg)
+}
+
+// Checkpoint takes an on-demand snapshot (requires Config.Checkpoint).
+func (s *Sim) Checkpoint() error {
+	if s.ckpt == nil {
+		return fmt.Errorf("%w: no checkpoint store configured", ErrConfig)
+	}
+	return s.ckpt.Save()
 }
 
 // simExecutor adapts the simulation to engine.Executor: each placement
@@ -331,6 +453,12 @@ func (s *Sim) finish(id int64, ran time.Duration, epoch int) {
 		s.remaining--
 	} else {
 		s.result.TasksReExecuted++
+	}
+	if s.ckpt != nil {
+		// Snapshot before the deferred placement wave, so an every-N
+		// policy captures the same post-completion, pre-placement state
+		// on both backends (the checkpoint parity invariant).
+		s.ckpt.TaskCompleted()
 	}
 	s.deferSchedule()
 }
@@ -382,8 +510,13 @@ func (s *Sim) Run() (Result, error) {
 		s.clock.After(s.cfg.ElasticEvery, tick)
 	}
 
+	// Arm the simulated process death.
+	if s.cfg.HaltAt > 0 {
+		s.clock.At(s.cfg.HaltAt, func() { s.halted = true })
+	}
+
 	s.eng.Schedule()
-	for s.remaining > 0 {
+	for s.remaining > 0 && !s.halted {
 		if !s.clock.Step() {
 			if s.err == nil {
 				s.err = fmt.Errorf("%w: %d tasks remain at %v", ErrStuck, s.remaining, s.clock.Now())
@@ -393,6 +526,12 @@ func (s *Sim) Run() (Result, error) {
 		if s.err != nil {
 			break
 		}
+	}
+	if s.halted && s.remaining > 0 && s.err == nil {
+		s.err = fmt.Errorf("%w: %d tasks unfinished at %v", ErrHalted, s.remaining, s.clock.Now())
+	}
+	if s.remaining == 0 && s.ckpt != nil {
+		s.ckpt.Drained()
 	}
 	s.result.Makespan = s.clock.Now()
 	s.result.DepEdges = s.proc.Stats()

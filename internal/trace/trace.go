@@ -38,6 +38,10 @@ const (
 	LinkCut       Kind = "link_cut"
 	LinkHealed    Kind = "link_healed"
 	FaultIgnored  Kind = "fault_ignored"
+	// CheckpointSaved marks a persisted engine snapshot (Info: file name).
+	CheckpointSaved Kind = "checkpoint_saved"
+	// CheckpointRestored marks a run resumed from a snapshot (Info: counts).
+	CheckpointRestored Kind = "checkpoint_restored"
 )
 
 // Event is one timestamped occurrence.

@@ -156,6 +156,53 @@ func (r *Registry) MissingBytes(node string, keys []Key) int64 {
 	return total
 }
 
+// Entry is one catalog row of the registry: a data version, its recorded
+// size and its replica locations.
+type Entry struct {
+	Key       Key
+	Size      int64
+	Locations []string
+}
+
+// Entries dumps the whole catalog, sorted by key — the data half of a
+// checkpoint snapshot (internal/engine/checkpoint). Keys that have a
+// recorded size but no replica yet (declared ahead of production) are
+// included with empty locations.
+func (r *Registry) Entries() []Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := make(map[Key]struct{}, len(r.loc)+len(r.size))
+	out := make([]Entry, 0, len(r.loc)+len(r.size))
+	add := func(k Key) {
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		e := Entry{Key: k, Size: r.size[k]}
+		if set, ok := r.loc[k]; ok {
+			e.Locations = make([]string, 0, len(set))
+			for n := range set {
+				e.Locations = append(e.Locations, n)
+			}
+			sort.Strings(e.Locations)
+		}
+		out = append(out, e)
+	}
+	for k := range r.loc {
+		add(k)
+	}
+	for k := range r.size {
+		add(k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Data != out[j].Key.Data {
+			return out[i].Key.Data < out[j].Key.Data
+		}
+		return out[i].Key.Ver < out[j].Key.Ver
+	})
+	return out
+}
+
 // Plan describes the transfers needed to materialise a set of keys on one
 // node.
 type Plan struct {

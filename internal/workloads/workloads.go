@@ -422,6 +422,39 @@ func ProducerConsumerLoop(iters, readers int, readDur time.Duration) []infra.Tas
 	return specs
 }
 
+// CommutativeReduce builds the reduction pattern whose member order is
+// irrelevant: one seed task writes the accumulator, n updater tasks
+// merge into it commutatively (no member-member dependency edges — the
+// scheduler may run them in any order), and one reader consumes the
+// merged result. This is the workload behind the live backend's
+// commutative value-binding path: both backends must keep the members
+// unordered while later accesses wait for the whole group.
+func CommutativeReduce(n int, updDur time.Duration) []infra.TaskSpec {
+	const acc deps.DataID = 1
+	var specs []infra.TaskSpec
+	specs = append(specs, infra.TaskSpec{
+		ID: 0, Class: "reduce.seed", Duration: 2 * time.Second,
+		Accesses:    []deps.Access{{Data: acc, Dir: deps.Out}},
+		OutputBytes: map[deps.DataID]int64{acc: 1e6},
+	})
+	for i := 0; i < n; i++ {
+		specs = append(specs, infra.TaskSpec{
+			ID: int64(i + 1), Class: "reduce.update", Duration: updDur,
+			Accesses:    []deps.Access{{Data: acc, Dir: deps.Commutative}},
+			OutputBytes: map[deps.DataID]int64{acc: 1e6},
+		})
+	}
+	specs = append(specs, infra.TaskSpec{
+		ID: int64(n + 1), Class: "reduce.read", Duration: time.Second,
+		Accesses: []deps.Access{
+			{Data: acc, Dir: deps.In},
+			{Data: 2, Dir: deps.Out},
+		},
+		OutputBytes: map[deps.DataID]int64{2: 1e3},
+	})
+	return specs
+}
+
 // ConformanceCase is one generator instance of the backend-conformance
 // suite: a named spec set, its staged-in data, and the single node able to
 // serialise it (one core, every required capability), so schedules are
@@ -470,6 +503,7 @@ func ConformanceSuite() []ConformanceCase {
 		{Name: "iterative-stencil", Specs: IterativeStencil(3, 4, 2*time.Second), Node: hpc1},
 		{Name: "producer-consumer", Specs: ProducerConsumerLoop(3, 3, 4*time.Second), Node: hpc1},
 		{Name: "map-reduce", Specs: MapReduce(4, 2, 3*time.Second, 5*time.Second, 2e6), Node: hpc1},
+		{Name: "commutative-reduce", Specs: CommutativeReduce(5, 3*time.Second), Node: hpc1},
 	}
 }
 
