@@ -17,7 +17,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
-	only := flag.String("only", "", "run a single experiment (e1..e14, a1, a2)")
+	only := flag.String("only", "", "run a single experiment (e1..e15, a1, a2)")
 	flag.Parse()
 	if err := run(*quick, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -33,7 +33,7 @@ func run(quick bool, only string) error {
 	all := []exp{
 		{"e1", e1}, {"e2", e2}, {"e3", e3}, {"e4", e4}, {"e5", e5}, {"e6", e6},
 		{"e7", e7}, {"e8", e8}, {"e9", e9}, {"e10", e10}, {"e11", e11}, {"e12", e12},
-		{"e13", e13}, {"e14", e14},
+		{"e13", e13}, {"e14", e14}, {"e15", e15},
 		{"a1", a1}, {"a2", a2},
 	}
 	for _, e := range all {
@@ -390,5 +390,41 @@ func e14(quick bool) error {
 	}
 	table("E14 — crash-restart durability: engine dies mid-run, resumes from the latest checkpoint",
 		[]string{"checkpoint", "tasks", "crash at", "done pre-crash", "restored", "recomputed", "cold makespan", "resumed makespan"}, out)
+	return nil
+}
+
+func e15(quick bool) error {
+	consumers, consumNodes := 16, 4
+	if quick {
+		consumers = 8
+	}
+	rows, err := experiments.E15PartitionRecovery(consumers, consumNodes, 40*time.Second)
+	if err != nil {
+		return err
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Policy.String(), r.Makespan.Round(time.Second).String(),
+			fmt.Sprint(r.RanMissing), fmt.Sprint(r.Deferred), fmt.Sprint(r.Reexecuted),
+			fmt.Sprint(r.Transfers)})
+	}
+	table("E15a — availability policies under a heal-bounded partition (cut@5s, heal@40s)",
+		[]string{"policy", "makespan", "ran-missing", "deferred", "re-executed", "transfers"}, out)
+
+	nMap, nReduce := 18, 4
+	if quick {
+		nMap = 12
+	}
+	rr, err := experiments.E15ShrunkPoolRestore(nMap, nReduce)
+	if err != nil {
+		return err
+	}
+	table("E15b — placement-aware restore onto a shrunk pool (persist tier re-staging)",
+		[]string{"tasks", "snapshotted", "removed node", "restored", "re-staged", "recomputed", "resumed makespan"},
+		[][]string{{
+			fmt.Sprint(rr.Tasks), fmt.Sprint(rr.Snapshotted), rr.RemovedNode,
+			fmt.Sprint(rr.Restored), fmt.Sprint(rr.Restaged),
+			fmt.Sprint(rr.RecomputedRestored), rr.ResumedMakespan.Round(time.Second).String(),
+		}})
 	return nil
 }

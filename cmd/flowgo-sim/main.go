@@ -11,6 +11,12 @@
 //	flowgo-sim -workload gwas -nodes 8 -faults "crash@2m:hpc001,slow@3m:hpc002x2"
 //	flowgo-sim -workload skew -nodes 8 -node-type fog -policy wait-fast -steal on-idle
 //
+// Partition-recovery drill (E15): cut the producer tier away from the
+// consumer tier, pick how placement handles the unreachable data, heal:
+//
+//	flowgo-sim -workload partition -tasks 8 -nodes 4 -node-type cloud \
+//	  -faults "cut@5s:hpc-cloud,heal@40s:hpc-cloud" -availability defer
+//
 // Crash-restart drill (E14): checkpoint periodically, simulate the whole
 // process dying mid-run, then resume from the latest valid snapshot:
 //
@@ -49,7 +55,7 @@ func main() {
 
 func run() error {
 	var (
-		workload = flag.String("workload", "gwas", "gwas | nmmb | mix | mapreduce | stencil | skew")
+		workload = flag.String("workload", "gwas", "gwas | nmmb | mix | mapreduce | stencil | skew | partition")
 		nodes    = flag.Int("nodes", 4, "pool size")
 		nodeType = flag.String("node-type", "hpc", "hpc | cloud | fog")
 		policy   = flag.String("policy", "min-load", "fifo | min-load | locality | eft | ml | energy | wait-fast")
@@ -58,6 +64,7 @@ func run() error {
 		gantt    = flag.Bool("gantt", false, "render a per-node Gantt chart")
 		faultStr = flag.String("faults", "", `fault script: "crash@2s:n0,slow@3s:n1x2,cut@4s:n0-n2,heal@8s:n0-n2,drain@10s:n1"`)
 		stealStr = flag.String("steal", "off", "work stealing: off | on-idle | threshold:<n>")
+		availStr = flag.String("availability", "run-anyway", "placement with unreachable inputs: run-anyway | defer | recompute")
 		ckptStr  = flag.String("checkpoint", "off", "checkpoint policy: off | interval:<d> | every:<n> | on-drain")
 		ckptDir  = flag.String("checkpoint-dir", "checkpoints", "snapshot directory for -checkpoint")
 		restore  = flag.String("restore", "", "resume from the latest valid snapshot in this directory")
@@ -70,6 +77,10 @@ func run() error {
 		return err
 	}
 	steal, err := parseSteal(*stealStr)
+	if err != nil {
+		return err
+	}
+	avail, err := engine.ParseAvailability(*availStr)
 	if err != nil {
 		return err
 	}
@@ -101,6 +112,17 @@ func run() error {
 		}
 		poolDesc = "1 × fast + " + poolDesc
 	}
+	if *workload == "partition" {
+		// The partition demo needs a producer tier the consumers can be
+		// cut away from: one HPC node ahead of the fleet, so the idle-pool
+		// tie-break lands the producer (and its output replica) on it.
+		if err := pool.Add(resources.NewNode("src0", resources.Description{
+			Cores: 4, MemoryMB: 32_000, SpeedFactor: 1, Class: resources.HPC,
+		})); err != nil {
+			return err
+		}
+		poolDesc = "1 × src0 + " + poolDesc
+	}
 	for i := 0; i < *nodes; i++ {
 		if err := pool.Add(resources.NewNode(fmt.Sprintf("%s%03d", *nodeType, i), desc)); err != nil {
 			return err
@@ -114,7 +136,7 @@ func run() error {
 	var specs []infra.TaskSpec
 	cfg := infra.Config{
 		Pool: pool, Net: net, Policy: sched.ByName(*policy),
-		Faults: script, Steal: steal, HaltAt: *haltAt,
+		Faults: script, Steal: steal, Availability: avail, HaltAt: *haltAt,
 	}
 	var ckptStore *checkpoint.Store
 	if ckptPolicy.Mode != checkpoint.ModeOff {
@@ -166,6 +188,13 @@ func run() error {
 		// work-stealing demonstration workload (pair with a heterogeneous
 		// pool, -policy wait-fast and -steal on-idle).
 		specs = workloads.SkewedTiers(*tasks/20+1, *tasks, 100*time.Second, 5*time.Second)
+	case "partition":
+		// Producer on one tier, consumers pinned to another, released
+		// after a scripted cut: the availability demonstration workload
+		// (pair with -faults "cut@...:hpc-cloud,heal@...:hpc-cloud" and
+		// -availability defer|recompute; the src0 producer node was
+		// prepended above — set -node-type cloud for the consumer fleet).
+		specs = workloads.PartitionPipeline(*tasks, 2*time.Second, 5*time.Second, 50e6, 10*time.Second)
 	default:
 		return fmt.Errorf("unknown workload %q", *workload)
 	}
@@ -191,6 +220,10 @@ func run() error {
 	if len(script) > 0 {
 		fmt.Printf("faults:          %d scripted, %d tasks killed, %d re-executions\n",
 			len(script), res.TasksFailed, res.TasksReExecuted)
+	}
+	if avail != engine.AvailRunAnyway || res.TasksRanMissing > 0 {
+		fmt.Printf("availability:    %s (%d deferred, %d ran-missing)\n",
+			avail, res.TasksDeferred, res.TasksRanMissing)
 	}
 	if ckptStore != nil {
 		fmt.Printf("checkpoints:     %s → %s (%d on disk)\n",

@@ -24,11 +24,17 @@ type restoreState struct {
 	completed map[int64]checkpoint.TaskRecord
 }
 
-// applyRestoreSeed decodes the snapshot into the fresh runtime: catalog
-// values re-enter the value table, and — when a location registry is
-// configured — sizes and surviving replica locations re-enter the
-// catalog, so the transfer planner re-stages anything a dependent later
-// misses. Called from New, before the runtime is visible to anyone.
+// applyRestoreSeed decodes the snapshot into the fresh runtime
+// placement-aware: catalog values re-enter the value table, and — when a
+// location registry is configured — sizes and surviving replica
+// locations re-enter the catalog, so the transfer planner re-stages
+// anything a dependent later misses. A version whose every recorded
+// location has left the pool (the pool shrank or changed between
+// incarnations) but whose value survived in the snapshot — the live
+// backend's persist tier — is re-staged onto the first live node instead
+// of being dropped, so dependent placements see a reachable replica
+// rather than classifying the input as lost. Called from New, before the
+// runtime is visible to anyone.
 func (rt *Runtime) applyRestoreSeed(snap *checkpoint.Snapshot) {
 	if snap.Format != checkpoint.Format {
 		// Silently resuming cold would recompute a whole campaign without
@@ -40,10 +46,16 @@ func (rt *Runtime) applyRestoreSeed(snap *checkpoint.Snapshot) {
 	for _, rec := range snap.Completed {
 		rs.completed[rec.ID] = rec
 	}
+	var restageNode string
+	if nodes := rt.cfg.Pool.Nodes(); len(nodes) > 0 {
+		restageNode = nodes[0].Name()
+	}
 	for _, en := range snap.Catalog {
+		decoded := false
 		if en.HasValue {
 			if val, ok := checkpoint.DecodeValue(en.Value); ok {
 				rt.values[en.Key.Version()] = versionSlot{val: val}
+				decoded = true
 			}
 		}
 		if rt.cfg.Locations == nil {
@@ -53,9 +65,21 @@ func (rt *Runtime) applyRestoreSeed(snap *checkpoint.Snapshot) {
 		if en.Size > 0 {
 			rt.cfg.Locations.SetSize(k, en.Size)
 		}
+		live := 0
 		for _, loc := range en.Locations {
 			if _, ok := rt.cfg.Pool.Get(loc); ok {
 				rt.cfg.Locations.AddReplica(k, loc)
+				live++
+			}
+		}
+		if live == 0 && len(en.Locations) > 0 && decoded && restageNode != "" {
+			rt.cfg.Locations.AddReplica(k, restageNode)
+			rt.restaged++
+			if rt.cfg.Tracer != nil {
+				rt.cfg.Tracer.Record(trace.Event{
+					Kind: trace.DataRestaged, Node: restageNode,
+					Info: fmt.Sprintf("data %d v%d from snapshot value", k.Data, k.Ver),
+				})
 			}
 		}
 	}
@@ -104,6 +128,15 @@ func (rt *Runtime) RestoredTasks() int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.restored
+}
+
+// RestagedReplicas reports how many data versions the restore seed
+// re-staged onto a live node because every recorded replica location had
+// left the pool (see applyRestoreSeed).
+func (rt *Runtime) RestagedReplicas() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.restaged
 }
 
 // CheckpointSnapshot implements checkpoint.Source: the shared engine

@@ -190,6 +190,15 @@ type Config struct {
 	// off); the simulator takes the identical knob, so steal decisions
 	// are comparable one-to-one across backends.
 	Steal engine.StealConfig
+	// Availability selects what placement does with a task whose every
+	// input replica is lost or partitioned away (engine.Availability):
+	// run anyway (default), defer until a heal or fresh replica wakes the
+	// task, or recompute the producers on the reachable side. Effective
+	// only when Locations and Net are both set; the simulator takes the
+	// identical knob. A deferred task's Future stays open until the
+	// partition heals, exactly like a fault-killed task's Future stays
+	// open until recovery re-executes it.
+	Availability engine.Availability
 	// Checkpoint, when set (with a Store), snapshots the engine state
 	// and the produced values to disk under the configured policy, on
 	// wall time — the same policy the simulator drives on virtual time.
@@ -245,6 +254,7 @@ type Runtime struct {
 	group    map[deps.Version][]*Future   // commutative member futures per version
 	restore  *restoreState
 	restored int
+	restaged int // replicas re-staged by a placement-aware restore seed
 	nextTask int64
 	nextData int64
 	stopped  bool
@@ -274,14 +284,15 @@ func New(cfg Config) *Runtime {
 		epoch:  time.Now(),
 	}
 	rt.eng = engine.New(engine.Config{
-		Pool:     cfg.Pool,
-		Policy:   cfg.Policy,
-		Clock:    engine.WallClock{Epoch: rt.epoch},
-		Executor: (*coreExecutor)(rt),
-		Registry: cfg.Locations,
-		Net:      cfg.Net,
-		Tracer:   cfg.Tracer,
-		Steal:    cfg.Steal,
+		Pool:         cfg.Pool,
+		Policy:       cfg.Policy,
+		Clock:        engine.WallClock{Epoch: rt.epoch},
+		Executor:     (*coreExecutor)(rt),
+		Registry:     cfg.Locations,
+		Net:          cfg.Net,
+		Tracer:       cfg.Tracer,
+		Steal:        cfg.Steal,
+		Availability: cfg.Availability,
 		SchedContext: &sched.Context{
 			Registry:  cfg.Locations,
 			Net:       cfg.Net,
@@ -932,8 +943,17 @@ func (rt *Runtime) Partition(a, b string) error { return rt.eng.Partition(a, b) 
 func (rt *Runtime) Heal(a, b string) error { return rt.eng.Heal(a, b) }
 
 // Pool exposes the node pool (for agents that add/remove resources at
-// execution time, paper Sec. VI-B).
+// execution time, paper Sec. VI-B). After growing the pool mid-run,
+// call RevalidateAvailability so tasks parked on unreachable data get a
+// chance on the new capacity.
 func (rt *Runtime) Pool() *resources.Pool { return rt.cfg.Pool }
+
+// RevalidateAvailability wakes every task parked by the availability
+// policy (Config.Availability) and runs a placement wave — call it after
+// adding nodes to the pool, since a new node may sit on the reachable
+// side of a partition. Tasks whose data is still unobtainable re-park.
+// Returns the number of tasks woken.
+func (rt *Runtime) RevalidateAvailability() int { return rt.eng.RevalidateAvailability() }
 
 // CurrentVersion reports the newest registered version of a handle.
 func (rt *Runtime) CurrentVersion(h *Handle) deps.Version {

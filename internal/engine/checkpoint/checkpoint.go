@@ -11,18 +11,37 @@
 //
 // The subsystem is backend-agnostic by the same construction as the
 // fault subsystem: policies (Off, Interval, EveryN, OnDrain) are driven
-// through a Timer — the simulator arms them on its virtual clock, the
-// live runtime on a wall-clock timer — and both backends implement
-// Source by delegating to engine.SnapshotTasks plus their own extras
-// (the live runtime attaches gob-encoded output values so futures can be
-// re-seeded on restore). Restore is cooperative: the application
-// re-registers the same workflow, the backend seeds the location
-// registry from the snapshot's catalog, marks recorded completions
-// through engine.RestoreCompleted, and the ordinary transfer planner
-// re-stages any data a dependent later misses. A task whose recorded
-// outputs cannot be restored (value not serialisable, every replica
-// location gone) is simply left to re-run — restore degrades to
-// recompute, never to wrong answers.
+// through a Timer — the simulator arms them on its virtual clock
+// (liveness-gated, so a self-re-arming interval event cannot keep a
+// drained or wedged simulation ticking), the live runtime on a
+// wall-clock timer — and both backends implement Source by delegating
+// to engine.SnapshotTasks plus their own extras (the live runtime
+// attaches gob-encoded output values so futures can be re-seeded on
+// restore). Both notify the Checkpointer after each completion and
+// before the next placement wave, so an every-N snapshot captures the
+// identical post-completion, pre-placement state on either backend —
+// the invariant the checkpoint parity suite compares with Equivalent.
+//
+// On disk a snapshot is a JSON projection (Snapshot) written through
+// Store: content-addressed names (snap-<seq>-<sha256:16>.ckpt), atomic
+// temp-and-rename writes, format versioning (Format), bounded retention
+// (Keep), and a Latest that skips corrupt or truncated files back to
+// the previous valid snapshot, so damage costs one checkpoint interval
+// rather than the run.
+//
+// Restore is cooperative and placement-aware: the application
+// re-registers the same workflow (same order, so task IDs line up), the
+// backend seeds the location registry from the snapshot's catalog —
+// keeping replicas on nodes the new pool still holds, and re-staging
+// versions whose every recorded node has vanished from the persist tier
+// (or, live, from the snapshot's encoded values) onto a surviving node
+// ahead of demand — then marks recorded completions through
+// engine.RestoreCompleted; the ordinary transfer planner covers any
+// later miss. A task whose recorded outputs cannot be restored (value
+// not serialisable, no tier holding it) is simply left to re-run —
+// restore degrades to recompute, never to wrong answers. The restore
+// may therefore target a different pool than the one that snapshotted:
+// experiment E15b asserts a shrunk-pool restore recomputes nothing.
 package checkpoint
 
 import (
@@ -212,7 +231,9 @@ func Equivalent(a, b *Snapshot) error {
 	if sa.Launched != sb.Launched || sa.Completed != sb.Completed ||
 		sa.Restored != sb.Restored || sa.Reexecuted != sb.Reexecuted ||
 		sa.Steals != sb.Steals || sa.Transfers != sb.Transfers ||
-		sa.BytesMoved != sb.BytesMoved || sa.TransferTime != sb.TransferTime {
+		sa.BytesMoved != sb.BytesMoved || sa.TransferTime != sb.TransferTime ||
+		sa.RanMissing != sb.RanMissing || sa.Deferred != sb.Deferred ||
+		sa.Woken != sb.Woken || sa.AvailRecomputes != sb.AvailRecomputes {
 		return fmt.Errorf("stats differ: %+v vs %+v", sa, sb)
 	}
 	return nil

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/deps"
+	"repro/internal/engine"
 	"repro/internal/infra"
 	"repro/internal/resources"
 	"repro/internal/sched"
@@ -35,6 +36,10 @@ type sweepOutcome struct {
 // sweepSim runs the case natively on the simulator, with a gate task (ID
 // 1) mirroring the live side's fully-queued start.
 func sweepSim(t *testing.T, c workloads.ConformanceCase) sweepOutcome {
+	return sweepSimAvail(t, c, engine.AvailRunAnyway)
+}
+
+func sweepSimAvail(t *testing.T, c workloads.ConformanceCase, avail engine.Availability) sweepOutcome {
 	t.Helper()
 	pool := resources.NewPool()
 	_ = pool.Add(resources.NewNode("pn0", c.Node))
@@ -45,11 +50,12 @@ func sweepSim(t *testing.T, c workloads.ConformanceCase) sweepOutcome {
 	}
 	tr := trace.New(0)
 	sim, err := infra.New(infra.Config{
-		Pool:    pool,
-		Net:     simnet.New(simnet.Link{BandwidthMBps: 1000}),
-		Policy:  sched.FIFO{},
-		Tracer:  tr,
-		StageIn: c.StageIn,
+		Pool:         pool,
+		Net:          simnet.New(simnet.Link{BandwidthMBps: 1000}),
+		Policy:       sched.FIFO{},
+		Tracer:       tr,
+		StageIn:      c.StageIn,
+		Availability: avail,
 	}, specs)
 	if err != nil {
 		t.Fatal(err)
@@ -162,6 +168,35 @@ func specOrder(tr *trace.Tracer) []int {
 		order = append(order, int(ev.Task)-2)
 	}
 	return order
+}
+
+// TestConformanceAvailabilityNeutral: with no partition scripted, the
+// availability policies must be invisible — every conformance generator
+// produces the identical schedule, transfer books and dependency stats
+// under run-anyway, defer and recompute, with nothing parked and nothing
+// run missing.
+func TestConformanceAvailabilityNeutral(t *testing.T) {
+	for _, c := range workloads.ConformanceSuite() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			base := sweepSim(t, c)
+			for _, avail := range []engine.Availability{engine.AvailDefer, engine.AvailRecompute} {
+				got := sweepSimAvail(t, c, avail)
+				if len(got.order) != len(base.order) {
+					t.Fatalf("%s: start sequence length %d vs baseline %d", avail, len(got.order), len(base.order))
+				}
+				for i := range base.order {
+					if got.order[i] != base.order[i] {
+						t.Fatalf("%s: start order diverges at %d: %v vs baseline %v", avail, i, got.order, base.order)
+					}
+				}
+				if got.launched != base.launched || got.transfers != base.transfers ||
+					got.bytes != base.bytes || got.edges != base.edges {
+					t.Fatalf("%s: outcome diverges from run-anyway baseline: %+v vs %+v", avail, got, base)
+				}
+			}
+		})
+	}
 }
 
 func TestWorkloadConformanceSweep(t *testing.T) {

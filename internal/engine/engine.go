@@ -107,6 +107,10 @@ const (
 	Running
 	// Done tasks have completed at least once.
 	Done
+	// Parked tasks sit in the availability wait set: every replica of at
+	// least one input is lost or partitioned away, and Config.Availability
+	// chose to hold the task until a heal or a fresh replica wakes it.
+	Parked
 )
 
 // Task is one schedulable unit. The exported fields are set by the
@@ -140,6 +144,8 @@ type Task struct {
 	epoch      int                // placement counter
 	nodes      []string           // reserved node names while Running
 	started    time.Duration
+	availKeys  []transfer.Key // unavailable inputs this task is parked on
+	availNeed  string         // availability-recompute hint: the primary must reach this node
 }
 
 // StealMode selects the engine's cross-bucket work-stealing behaviour.
@@ -220,6 +226,11 @@ type Config struct {
 	SchedContext *sched.Context
 	// Steal enables cross-bucket work stealing (default off).
 	Steal StealConfig
+	// Availability selects what placement does with a task whose inputs
+	// are lost or partitioned away (default AvailRunAnyway; see the
+	// Availability type). Effective only when Registry and Net are both
+	// set — without the transfer books the engine cannot classify inputs.
+	Availability Availability
 }
 
 // Stats counts engine activity since creation.
@@ -242,6 +253,21 @@ type Stats struct {
 	BytesMoved int64
 	// TransferTime sums the modelled staging time on task critical paths.
 	TransferTime time.Duration
+	// RanMissing counts launches that proceeded although at least one
+	// input had no reachable replica (Availability == AvailRunAnyway) —
+	// the executions the defer/recompute policies exist to eliminate.
+	RanMissing int
+	// Deferred counts park events: placement attempts diverted into the
+	// availability wait set (a task woken optimistically and re-parked
+	// counts again).
+	Deferred int
+	// Woken counts releases from the availability wait set back to the
+	// ready queue (heals, fresh replicas, failure sweeps).
+	Woken int
+	// AvailRecomputes counts producer resubmissions triggered by
+	// AvailRecompute placement decisions (every one also shows up in
+	// Reexecuted when the producer had completed before).
+	AvailRecomputes int
 }
 
 // Completion reports the outcome of a live Complete call.
@@ -278,8 +304,16 @@ type Engine struct {
 	wave     int                    // placement-wave counter (bucket blocking)
 	producer map[transfer.Key]int64 // which task writes each version
 	slow     map[string]float64     // per-node duration multipliers (fault injection)
-	stats    Stats
-	view     sched.TaskView // scratch view (guarded by mu; never retained)
+	// Availability wait set: tasks parked on unavailable data versions
+	// (see availability.go), plus the scratch a placement attempt leaves
+	// for divertUnavailableLocked.
+	waiters      map[transfer.Key]map[int64]struct{} // parked task IDs per missing datum
+	parked       map[int64]struct{}                  // all parked task IDs
+	availMissing []transfer.Key                      // scratch: last attempt's unavailable inputs
+	availPrimary string                              // scratch: last attempt's chosen primary
+	pendingWakes []transfer.Key                      // staged replicas with waiters (processed between waves)
+	stats        Stats
+	view         sched.TaskView // scratch view (guarded by mu; never retained)
 
 	launchMu sync.Mutex  // serialises launch batches (not held with mu)
 	launch   []Placement // scratch batch (guarded by launchMu)
@@ -500,40 +534,65 @@ func (e *Engine) Schedule() {
 // that cannot be placed blocks its whole signature for the rest of the
 // wave: placeability depends only on the constraint signature, so its
 // siblings cannot be placed either — except through a policy decline,
-// which is task-specific; the steal phase below revisits those.
+// which is task-specific; the steal phase below revisits those. A wave
+// whose placements staged replicas some parked task is waiting for wakes
+// those waiters and runs again (fresh wave, blocked flags reset), so
+// data made reachable by ordinary staging releases deferred work without
+// waiting for a heal.
 func (e *Engine) placeWaveLocked(placed []Placement) []Placement {
 	if e.readyN == 0 {
 		return placed
 	}
-	e.wave++
 	for {
-		var bestB *bucket
-		var best *Task
-		for _, b := range e.sigs {
-			if b.blocked == e.wave || len(b.q) == 0 {
-				continue
+		e.wave++
+		for {
+			var bestB *bucket
+			var best *Task
+			for _, b := range e.sigs {
+				if b.blocked == e.wave || len(b.q) == 0 {
+					continue
+				}
+				t := e.tasks[b.q[0]]
+				if best == nil || headLess(t, best) {
+					bestB, best = b, t
+				}
 			}
-			t := e.tasks[b.q[0]]
-			if best == nil || headLess(t, best) {
-				bestB, best = b, t
+			if best == nil {
+				break
+			}
+			p, outcome := e.placeLocked(best)
+			switch outcome {
+			case placeOK:
+				placed = append(placed, p)
+				bestB.q = bestB.q[1:]
+				e.readyN--
+			case placeUnavailable:
+				// The head's inputs are unreachable: divert it into the
+				// availability wait set (which may resubmit producers into
+				// this very wave) and keep placing — unavailability is
+				// task-specific, so the bucket is not blocked.
+				bestB.q = bestB.q[1:]
+				e.readyN--
+				e.divertUnavailableLocked(best)
+			default:
+				bestB.blocked = e.wave
 			}
 		}
-		if best == nil {
-			break
+		if e.cfg.Steal.Mode != StealOff && e.readyN > 0 {
+			placed = e.stealWaveLocked(placed)
 		}
-		p, outcome := e.placeLocked(best)
-		if outcome != placeOK {
-			bestB.blocked = e.wave
-			continue
+		if len(e.pendingWakes) == 0 {
+			return placed
 		}
-		placed = append(placed, p)
-		bestB.q = bestB.q[1:]
-		e.readyN--
+		woken := 0
+		for _, k := range e.pendingWakes {
+			woken += e.wakeKeyWaitersLocked(k)
+		}
+		e.pendingWakes = e.pendingWakes[:0]
+		if woken == 0 {
+			return placed
+		}
 	}
-	if e.cfg.Steal.Mode != StealOff && e.readyN > 0 {
-		placed = e.stealWaveLocked(placed)
-	}
-	return placed
 }
 
 // stealWaveLocked is the work-stealing phase of a placement wave: every
@@ -562,7 +621,10 @@ func (e *Engine) stealWaveLocked(placed []Placement) []Placement {
 			if outcome == placeNoCapacity {
 				break
 			}
-			if outcome == placeDeclined {
+			if outcome == placeDeclined || outcome == placeUnavailable {
+				// Unavailable entries are left queued rather than parked:
+				// diverting would mutate the bucket mid-scan, and the
+				// entry is classified properly once it reaches the head.
 				continue
 			}
 			b.q = append(b.q[:i], b.q[i+1:]...)
@@ -590,20 +652,81 @@ const (
 	placeOK placeOutcome = iota
 	placeNoCapacity
 	placeDeclined
+	// placeUnavailable reports that the chosen primary cannot obtain at
+	// least one input (lost or partitioned) and the availability policy
+	// is not run-anyway; the attempt's classification is left in
+	// e.availMissing / e.availPrimary for divertUnavailableLocked.
+	placeUnavailable
 )
 
-// placeLocked tries to start one task now: policy choice, group
-// reservation, input staging.
+// placeLocked tries to start one task now: policy choice, availability
+// classification, group reservation, input staging.
 func (e *Engine) placeLocked(t *Task) (Placement, placeOutcome) {
 	fitting := e.cfg.Pool.Fitting(t.Constraints)
+	hinted := t.availNeed != "" && e.cfg.Net != nil
+	if hinted {
+		// Availability-recompute hint: this is a producer resubmitted for
+		// a consumer stranded behind a cut, so only nodes that can reach
+		// the consumer's side produce a useful replica. A capacity
+		// failure under the hint filter is task-specific — unhinted
+		// siblings may still fit the excluded nodes — so it is reported
+		// as a decline, not a signature-wide failure.
+		kept := fitting[:0]
+		for _, n := range fitting {
+			if e.cfg.Net.Reachable(n.Name(), t.availNeed) {
+				kept = append(kept, n)
+			}
+		}
+		fitting = kept
+	}
+	capFail := placeNoCapacity
+	if hinted {
+		capFail = placeDeclined
+	}
 	wantNodes := t.Constraints.EffectiveNodes()
 	if len(fitting) < wantNodes {
-		return Placement{}, placeNoCapacity
+		return Placement{}, capFail
 	}
 	primary := e.cfg.Policy.Pick(e.viewLocked(t), fitting, e.cfg.SchedContext)
 	if primary == nil {
 		return Placement{}, placeDeclined
 	}
+
+	// Classify inputs against the chosen primary before reserving
+	// anything: reachable inputs get a fetch plan; partitioned ones —
+	// and lost ones with a registered producer — are handed to the
+	// availability policy. A missing key with no producer is external
+	// data the run never staged (or lost for good): no policy can bring
+	// it back, so it keeps the historical run-anyway semantics and is
+	// not counted as an actionable miss. Under run-anyway the launch
+	// proceeds regardless — the recovery path covers lost data whose
+	// producers are mid-resubmission, and partitioned data is simply
+	// (observably) absent.
+	var plan transfer.Plan
+	if e.mgr != nil {
+		plan = e.mgr.PlanFetch(primary.Name(), t.InputKeys)
+		if actionable := e.actionableMissesLocked(plan); len(actionable) > 0 && e.cfg.Availability != AvailRunAnyway {
+			// The chosen primary cannot be fed, but another fitting node
+			// may well be — the replica's own node, or one on the right
+			// side of the cut. Re-offer the choice over the feedable
+			// subset before giving up on the task for this wave.
+			if alt, altPlan, ok := e.feedablePickLocked(t, fitting, primary); ok {
+				primary, plan = alt, altPlan
+			} else if e.feedableCapableLocked(t) {
+				// Some node that could ever run the task can be fed — the
+				// shortfall is busy capacity (or a policy decline), not
+				// the partition. Parking would be a trap: capacity
+				// release is not an availability wake source, so leave
+				// the task queued for the next completion wave instead.
+				return Placement{}, placeDeclined
+			} else {
+				e.availMissing = append(e.availMissing[:0], actionable...)
+				e.availPrimary = primary.Name()
+				return Placement{}, placeUnavailable
+			}
+		}
+	}
+
 	group := []*resources.Node{primary}
 	for _, n := range fitting {
 		if len(group) == wantNodes {
@@ -614,24 +737,30 @@ func (e *Engine) placeLocked(t *Task) (Placement, placeOutcome) {
 		}
 	}
 	if len(group) < wantNodes {
-		return Placement{}, placeNoCapacity
+		return Placement{}, capFail
 	}
 	for i, n := range group {
 		if err := n.Reserve(t.Constraints); err != nil {
 			for _, done := range group[:i] {
 				done.Release(t.Constraints)
 			}
-			return Placement{}, placeNoCapacity
+			return Placement{}, capFail
 		}
 	}
 
-	// Stage inputs onto the primary node. Inputs with no replica anywhere
-	// are left to the recovery path (resubmitted producers run before
-	// their dependents become ready), so they cost nothing here.
+	// Stage the planned inputs onto the primary node.
 	var staging time.Duration
 	if e.mgr != nil {
-		plan := e.mgr.PlanFetch(primary.Name(), t.InputKeys)
 		e.mgr.Apply(plan)
+		// A staged copy may be the very replica a parked task waits for
+		// (now fetchable from this side of a cut). Wakes are queued and
+		// processed between waves: waking mid-steal would mutate the
+		// bucket a scan is walking.
+		for _, mv := range plan.Moves {
+			if _, waited := e.waiters[mv.Key]; waited {
+				e.pendingWakes = append(e.pendingWakes, mv.Key)
+			}
+		}
 		staging = plan.Time
 		e.stats.Transfers += len(plan.Moves)
 		e.stats.BytesMoved += plan.Bytes
@@ -641,6 +770,15 @@ func (e *Engine) placeLocked(t *Task) (Placement, placeOutcome) {
 				At: e.cfg.Clock.Now(), Kind: trace.DataTransfer, Task: t.ID,
 				Node: primary.Name(), Info: fmt.Sprintf("%dB", plan.Bytes),
 			})
+		}
+		if actionable := e.actionableMissesLocked(plan); len(actionable) > 0 {
+			e.stats.RanMissing++
+			if e.cfg.Tracer != nil {
+				e.cfg.Tracer.Record(trace.Event{
+					At: e.cfg.Clock.Now(), Kind: trace.DataUnavailable, Task: t.ID,
+					Node: primary.Name(), Info: fmt.Sprintf("%d inputs missing, run anyway", len(actionable)),
+				})
+			}
 		}
 	}
 
@@ -726,8 +864,13 @@ func (e *Engine) completeLocked(id int64, epoch int, failed bool) (Completion, b
 					})
 				}
 			}
+			// A fresh replica may be exactly what a parked task is waiting
+			// for (the availability-recompute hand-off): wake its waiters
+			// and let the next wave re-classify.
+			e.wakeKeyWaitersLocked(k)
 		}
 	}
+	t.availNeed = "" // a recompute hint is spent once the producer completes
 	if e.cfg.Tracer != nil {
 		kind := trace.TaskCompleted
 		if failed {
@@ -885,6 +1028,14 @@ func (e *Engine) resubmitLocked(id int64) {
 		if t.waitCount > 0 {
 			return // already mid-resubmission (or waiting on live deps)
 		}
+	case Parked:
+		// A parked task re-entering the lineage path leaves the
+		// availability wait set; its unreachable inputs are re-classified
+		// below (lost ones recompute, partitioned ones re-park at
+		// placement).
+		e.unparkLocked(t)
+		t.state = Pending
+		t.waitCount = 0
 	case Done:
 		t.state = Pending
 		t.waitCount = 0

@@ -95,6 +95,13 @@ func (e *Engine) FailNode(name string, onKill func(*Task)) (FailReport, error) {
 		}
 	}
 
+	// Parked tasks may have been waiting on data that just died with the
+	// node: wake the whole availability wait set so the sweep below (and
+	// the closing placement wave) re-classifies everything — lost inputs
+	// with a producer recompute through lineage, still-partitioned ones
+	// simply park again.
+	e.wakeAllParked()
+
 	// Ready tasks may have lost an input with the node; recompute their
 	// producers before they run.
 	for _, t := range e.DropReadyMissingInputs() {
@@ -169,7 +176,11 @@ func (e *Engine) Partition(a, b string) error {
 	return nil
 }
 
-// Heal restores a link previously cut by Partition.
+// Heal restores a link previously cut by Partition, then re-validates the
+// availability picture: tasks parked on versions whose replicas are
+// reachable again are woken and a placement wave runs, so mid-queue work
+// re-plans its staging (transfer.PlanFetch / simnet.BestSource now see
+// the healed link) instead of waiting for the next completion.
 func (e *Engine) Heal(a, b string) error {
 	if e.cfg.Net == nil {
 		return ErrNoNetwork
@@ -179,6 +190,9 @@ func (e *Engine) Heal(a, b string) error {
 		e.cfg.Tracer.Record(trace.Event{
 			At: e.cfg.Clock.Now(), Kind: trace.LinkHealed, Info: a + "~" + b,
 		})
+	}
+	if e.wakeReachable() > 0 {
+		e.Schedule()
 	}
 	return nil
 }

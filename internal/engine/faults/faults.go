@@ -2,15 +2,40 @@
 // scheduling engine — the recovery drills of the paper's experiment E7
 // ("part of the application failed on a fog node … the execution of the
 // method was resubmitted to another node", Sec. VI-B), made backend
-// agnostic. A Scenario is a time-ordered list of fault events (node crash,
-// slow node, node drain, network partition and its heal); Run arms the
-// events on any Timer — the simulator's virtual clock or a wall-clock
-// timer — and fires them into any Injector — the simulator or the live
-// runtime. The same script therefore produces the same kill/recover
-// choreography on both backends, which is what lets parity tests assert
-// identical re-execution counts across them. Scenarios are built in Go or
-// parsed from the compact CLI grammar ("crash@2s:n0,slow@3s:n1x2,
-// cut@4s:n0-n2"; see Parse) that cmd/flowgo-sim exposes as -faults.
+// agnostic.
+//
+// A Scenario is a time-ordered list of fault events; the five kinds map
+// one-to-one onto the engine's fault surface:
+//
+//   - Crash    → Engine.FailNode: the node leaves the pool, its replicas
+//     are dropped, running tasks are killed (epoch invalidation) and
+//     resubmitted through lineage recovery;
+//   - Slow     → Engine.SlowNode: future placements carry a duration
+//     multiplier (factor 1 restores full speed);
+//   - Drain    → Engine.DrainNode: cordon — running work finishes, new
+//     placements avoid the node;
+//   - Cut      → Engine.Partition: a link (node or zone endpoints) is
+//     severed; staging across it is impossible and the engine's
+//     availability policy (engine.Availability) decides whether affected
+//     tasks run anyway, park, or recompute their producers;
+//   - HealLink → Engine.Heal: the link returns, parked tasks whose data
+//     became reachable are woken, and queued work re-plans its staging.
+//
+// Run arms the events on any Timer — the simulator's virtual clock or a
+// wall-clock timer (WallTimer) — and fires them into any Injector — the
+// simulator or the live runtime, which layers its own cleanup (event
+// invalidation, goroutine context cancellation) over the shared engine
+// choreography. The same script therefore produces the same
+// kill/recover/park/wake sequence on both backends, which is what lets
+// the parity suites assert identical re-execution counts across them.
+// The returned Drill accumulates per-event Outcomes (crash reports,
+// injection errors) and Wait blocks until every armed event has fired.
+//
+// Scenarios are built in Go or parsed from the compact CLI grammar
+// ("crash@2s:n0,slow@3s:n1x2,cut@4s:n0-n2,heal@8s:n0-n2"; see Parse)
+// that cmd/flowgo-sim exposes as -faults. The operator-facing guide to
+// the whole fault model — grammar, availability policies, recovery
+// drills — is docs/FAULTS.md.
 package faults
 
 import (

@@ -90,6 +90,9 @@ func (e *Engine) RestoreCompleted(id int64, epoch int) bool {
 		}
 		e.readyN--
 	}
+	if t.state == Parked {
+		e.unparkLocked(t) // a restored completion needs no inputs at all
+	}
 	if epoch > t.epoch {
 		t.epoch = epoch
 	}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// TestE15PoliciesEliminateRanMissing is the acceptance test of the
+// availability layer: under a heal-bounded partition, run-anyway launches
+// tasks without their data while defer and recompute both drive the
+// "missing, run anyway" count to zero — defer by waiting the cut out,
+// recompute by paying exactly one lineage re-run of the stranded
+// producer and finishing long before the heal.
+func TestE15PoliciesEliminateRanMissing(t *testing.T) {
+	rows, err := E15PartitionRecovery(8, 4, 40*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[engine.Availability]E15Result{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	ra := byPolicy[engine.AvailRunAnyway]
+	if ra.RanMissing == 0 {
+		t.Fatal("run-anyway reported zero ran-missing launches; the cut never bit and the drill proves nothing")
+	}
+	for _, policy := range []engine.Availability{engine.AvailDefer, engine.AvailRecompute} {
+		r := byPolicy[policy]
+		if r.RanMissing != 0 {
+			t.Fatalf("%s: %d tasks still ran with missing inputs, want 0", policy, r.RanMissing)
+		}
+		if r.Deferred == 0 {
+			t.Fatalf("%s: nothing was parked; the policy never engaged", policy)
+		}
+	}
+	if re := byPolicy[engine.AvailRecompute].Reexecuted; re != 1 {
+		t.Fatalf("recompute paid %d lineage re-runs, want exactly 1 (the stranded producer)", re)
+	}
+	if d := byPolicy[engine.AvailDefer]; d.Reexecuted != 0 {
+		t.Fatalf("defer paid %d lineage re-runs, want 0 (it waits, it does not recompute)", d.Reexecuted)
+	}
+	if rec, def := byPolicy[engine.AvailRecompute].Makespan, byPolicy[engine.AvailDefer].Makespan; rec >= def {
+		t.Fatalf("recompute makespan %v not shorter than defer's %v under a long heal", rec, def)
+	}
+}
+
+// TestE15ShrunkPoolRestore is the acceptance test of the placement-aware
+// restore: resuming onto a pool missing a node re-stages the vanished
+// node's replicas from the persist tier, restores every snapshotted
+// completion, and recomputes none of them.
+func TestE15ShrunkPoolRestore(t *testing.T) {
+	res, err := E15ShrunkPoolRestore(12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshotted == 0 {
+		t.Fatal("no completed tasks in the restored snapshot; halt landed too early")
+	}
+	if res.Restored != res.Snapshotted {
+		t.Fatalf("restored %d of %d snapshotted tasks; the persist tier should cover the vanished node",
+			res.Restored, res.Snapshotted)
+	}
+	if res.Restaged == 0 {
+		t.Fatal("nothing was re-staged; the removed node apparently held no exclusive replicas — drill misconfigured")
+	}
+	if res.RecomputedRestored != 0 {
+		t.Fatalf("%d snapshotted tasks re-executed on the shrunk pool, want 0", res.RecomputedRestored)
+	}
+}

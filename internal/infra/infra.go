@@ -106,6 +106,12 @@ type Config struct {
 	// off); the live runtime takes the identical knob, so steal decisions
 	// are comparable one-to-one across backends.
 	Steal engine.StealConfig
+	// Availability selects what placement does with a task whose every
+	// input replica is lost or partitioned away: run anyway (default),
+	// defer until a heal or fresh replica, or recompute the producers
+	// locally (engine.Availability). The live runtime takes the identical
+	// knob.
+	Availability engine.Availability
 	// Checkpoint, when set (with a Store), snapshots the engine state to
 	// disk under the configured policy, on the virtual clock — the same
 	// policy the live runtime drives on wall time.
@@ -148,6 +154,16 @@ type Result struct {
 	// TasksRestored counts tasks resolved from a checkpoint snapshot
 	// instead of executing (Config.Restore).
 	TasksRestored int
+	// TasksDeferred counts placement attempts parked by the availability
+	// policy (Config.Availability); TasksRanMissing counts launches that
+	// proceeded with at least one unreachable input (the run-anyway
+	// executions the defer/recompute policies eliminate).
+	TasksDeferred   int
+	TasksRanMissing int
+	// ReplicasRestaged counts data versions a placement-aware restore
+	// copied back from the persist tier because every node recorded as
+	// holding them had left the pool (Config.Restore).
+	ReplicasRestaged int
 	// BytesMoved is the total payload transferred between nodes.
 	BytesMoved int64
 	// TransferTime is the summed transfer time on task critical paths.
@@ -185,6 +201,12 @@ type Sim struct {
 	schedDeferred bool
 	halted        bool
 	err           error
+
+	// Restore-time re-staging traffic (persist tier → live node); added
+	// to the engine's transfer books when the run closes, so an eager
+	// re-stage is not accounted as free relative to a demand fetch.
+	restageBytes int64
+	restageTime  time.Duration
 }
 
 // release delays a task's visibility to the scheduler.
@@ -226,15 +248,16 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 		remaining: len(specs),
 	}
 	s.eng = engine.New(engine.Config{
-		Pool:        cfg.Pool,
-		Policy:      cfg.Policy,
-		Clock:       s.clock,
-		Executor:    &simExecutor{s},
-		Registry:    s.reg,
-		Net:         cfg.Net,
-		PersistNode: cfg.PersistNode,
-		Tracer:      cfg.Tracer,
-		Steal:       cfg.Steal,
+		Pool:         cfg.Pool,
+		Policy:       cfg.Policy,
+		Clock:        s.clock,
+		Executor:     &simExecutor{s},
+		Registry:     s.reg,
+		Net:          cfg.Net,
+		PersistNode:  cfg.PersistNode,
+		Tracer:       cfg.Tracer,
+		Steal:        cfg.Steal,
+		Availability: cfg.Availability,
 		SchedContext: &sched.Context{
 			Registry:  s.reg,
 			Net:       cfg.Net,
@@ -352,23 +375,46 @@ func (t ckptTimer) At(at time.Duration, fn func()) {
 	})
 }
 
-// applyRestore replays a snapshot: the data catalog re-seeds the
-// location registry (replicas only on nodes this incarnation's pool
-// actually holds, plus the persist tier), then every recorded completion
-// whose outputs all kept at least one live replica is marked done in the
-// engine — its dependents release exactly as a live completion would
-// have released them. Completed tasks whose data did not survive are
-// left alone: they re-run, and lineage recovery recomputes what they
-// need.
+// applyRestore replays a snapshot placement-aware: the data catalog
+// re-seeds the location registry with the replicas this incarnation's
+// pool actually holds (plus the persist tier), and versions whose every
+// recorded compute node has vanished — the pool shrank or changed between
+// the incarnations — are re-staged from the persist tier onto the
+// best-connected live node ahead of demand, instead of being dropped.
+// Then every recorded completion whose outputs all kept at least one
+// replica is marked done in the engine — its dependents release exactly
+// as a live completion would have released them. Only when no tier holds
+// a value is its producer left to re-run, with lineage recovery
+// recomputing what it needs.
 func (s *Sim) applyRestore(snap *checkpoint.Snapshot) {
 	for _, en := range snap.Catalog {
 		k := en.Key.Key()
 		if en.Size > 0 {
 			s.reg.SetSize(k, en.Size)
 		}
+		live, vanished := 0, 0
+		persisted := false
 		for _, loc := range en.Locations {
-			if _, ok := s.cfg.Pool.Get(loc); ok || loc == s.cfg.PersistNode {
+			if _, ok := s.cfg.Pool.Get(loc); ok {
 				s.reg.AddReplica(k, loc)
+				live++
+			} else if loc != "" && loc == s.cfg.PersistNode {
+				s.reg.AddReplica(k, loc)
+				persisted = true
+			} else {
+				vanished++
+			}
+		}
+		if live == 0 && vanished > 0 && persisted {
+			if tgt := s.restageTarget(k); tgt != "" {
+				s.reg.AddReplica(k, tgt)
+				s.result.ReplicasRestaged++
+				s.restageBytes += s.reg.Size(k)
+				s.restageTime += s.cfg.Net.TransferTime(s.cfg.PersistNode, tgt, s.reg.Size(k))
+				s.cfg.Tracer.Record(trace.Event{
+					Kind: trace.DataRestaged, Node: tgt,
+					Info: fmt.Sprintf("data %d v%d from %s", k.Data, k.Ver, s.cfg.PersistNode),
+				})
 			}
 		}
 	}
@@ -394,6 +440,24 @@ func (s *Sim) applyRestore(snap *checkpoint.Snapshot) {
 		Kind: trace.CheckpointRestored,
 		Info: fmt.Sprintf("%d/%d completed tasks (snapshot %d)", restored, len(snap.Completed), snap.Seq),
 	})
+}
+
+// restageTarget picks the live node a re-staged version lands on: the
+// cheapest fetch from the persist tier, in pool order on ties, skipping
+// nodes the persist tier cannot currently reach (cut links).
+func (s *Sim) restageTarget(k transfer.Key) string {
+	size := s.reg.Size(k)
+	best := ""
+	var bestT time.Duration
+	for _, n := range s.cfg.Pool.Nodes() {
+		if !s.cfg.Net.Reachable(s.cfg.PersistNode, n.Name()) {
+			continue
+		}
+		if t := s.cfg.Net.TransferTime(s.cfg.PersistNode, n.Name(), size); best == "" || t < bestT {
+			best, bestT = n.Name(), t
+		}
+	}
+	return best
 }
 
 // CheckpointSnapshot implements checkpoint.Source: the engine's task
@@ -519,7 +583,12 @@ func (s *Sim) Run() (Result, error) {
 	for s.remaining > 0 && !s.halted {
 		if !s.clock.Step() {
 			if s.err == nil {
-				s.err = fmt.Errorf("%w: %d tasks remain at %v", ErrStuck, s.remaining, s.clock.Now())
+				if parked := s.eng.ParkedCount(); parked > 0 {
+					s.err = fmt.Errorf("%w: %d tasks remain at %v (%d parked on unreachable data — a scripted cut never healed?)",
+						ErrStuck, s.remaining, s.clock.Now(), parked)
+				} else {
+					s.err = fmt.Errorf("%w: %d tasks remain at %v", ErrStuck, s.remaining, s.clock.Now())
+				}
 			}
 			break
 		}
@@ -536,8 +605,10 @@ func (s *Sim) Run() (Result, error) {
 	s.result.Makespan = s.clock.Now()
 	s.result.DepEdges = s.proc.Stats()
 	st := s.eng.Stats()
-	s.result.BytesMoved = st.BytesMoved
-	s.result.TransferTime = st.TransferTime
+	s.result.BytesMoved = st.BytesMoved + s.restageBytes
+	s.result.TransferTime = st.TransferTime + s.restageTime
+	s.result.TasksDeferred = st.Deferred
+	s.result.TasksRanMissing = st.RanMissing
 
 	// Close energy/idle accounting and node-seconds.
 	var capCoreSeconds float64
@@ -618,7 +689,9 @@ func (s *Sim) elasticStep() {
 		// cordon instead of paying the provider's provisioning delay.
 		if n := s.cfg.Elastic.Reclaim(); n != nil {
 			s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.NodeUndrained, Node: n.Name()})
-			s.eng.Schedule()
+			// The reclaimed node may sit on the reachable side of a
+			// partition: re-validate parked work along with the wave.
+			s.eng.RevalidateAvailability()
 			return
 		}
 		node, delay, err := s.cfg.Elastic.GrowOne(s.cfg.Pool)
@@ -639,7 +712,9 @@ func (s *Sim) elasticStep() {
 		if err := node.Reserve(hold); err == nil {
 			s.clock.After(delay, func() {
 				node.Release(hold)
-				s.eng.Schedule()
+				// Grown capacity may be the first node that can reach a
+				// parked task's data: re-validate along with the wave.
+				s.eng.RevalidateAvailability()
 			})
 		}
 	case resources.Shrink:

@@ -173,21 +173,33 @@ var _ Policy = Locality{}
 // Name implements Policy.
 func (Locality) Name() string { return "locality" }
 
-// Pick implements Policy.
+// Pick implements Policy. Under an active network partition the
+// local-bytes tie-break becomes availability-aware: among equally local
+// candidates a node that can actually be fed (no input marooned behind a
+// cut link) beats one that cannot, so locality placement steers around
+// partitions instead of landing tasks where their data is unreachable.
 func (Locality) Pick(t *TaskView, fitting []*resources.Node, ctx *Context) *resources.Node {
 	if ctx == nil || ctx.Registry == nil {
 		return fitting[0]
 	}
+	partitioned := ctx.Net != nil && ctx.Net.HasCuts()
+	feedable := func(n *resources.Node) bool {
+		return !partitioned || transferTime(t, n, ctx) < unreachablePenalty
+	}
 	best := fitting[0]
 	bestLocal := ctx.Registry.LocalBytes(best.Name(), t.InputKeys)
+	bestFed := feedable(best)
 	for _, n := range fitting[1:] {
 		local := ctx.Registry.LocalBytes(n.Name(), t.InputKeys)
+		fed := feedable(n)
 		switch {
 		case local > bestLocal:
-			best, bestLocal = n, local
-		case local == bestLocal && n.FreeCores() > best.FreeCores():
-			best = n
+		case local == bestLocal && fed && !bestFed:
+		case local == bestLocal && fed == bestFed && n.FreeCores() > best.FreeCores():
+		default:
+			continue
 		}
+		best, bestLocal, bestFed = n, local, fed
 	}
 	return best
 }

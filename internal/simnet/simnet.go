@@ -149,6 +149,28 @@ func (n *Network) Reachable(a, b string) bool {
 	return true
 }
 
+// HasCuts reports whether any link is currently severed — the cheap guard
+// partition-aware consumers (scheduling tie-breaks, availability checks)
+// test before paying a per-candidate reachability scan.
+func (n *Network) HasCuts() bool {
+	n.cutMu.RLock()
+	defer n.cutMu.RUnlock()
+	return len(n.cuts) > 0
+}
+
+// ReachableAny reports whether dest can currently reach at least one of
+// the sources — the reachability half of a replica-availability check:
+// a data version with replicas on sources is obtainable at dest iff this
+// holds.
+func (n *Network) ReachableAny(dest string, sources []string) bool {
+	for _, s := range sources {
+		if n.Reachable(s, dest) {
+			return true
+		}
+	}
+	return false
+}
+
 // LinkBetween resolves the effective link between two nodes. Transfers from
 // a node to itself are free (infinite bandwidth, zero latency).
 func (n *Network) LinkBetween(a, b string) Link {

@@ -27,8 +27,26 @@ const (
 	TaskCompleted Kind = "task_completed"
 	TaskFailed    Kind = "task_failed"
 	TaskRecovered Kind = "task_recovered"
-	DataTransfer  Kind = "data_transfer"
-	DataPersisted Kind = "data_persisted"
+	// TaskParked marks a ready task diverted into the availability wait
+	// set: every replica of at least one input is lost or partitioned
+	// away, and the engine's policy (defer/recompute) chose to hold the
+	// task rather than run it without data.
+	TaskParked Kind = "task_parked"
+	// TaskWoken marks a parked task released back to the ready queue —
+	// a partition healed, a replica of the awaited datum was (re)created,
+	// or a node failure forced a re-classification.
+	TaskWoken    Kind = "task_woken"
+	DataTransfer Kind = "data_transfer"
+	// DataUnavailable marks a task launched although inputs could not be
+	// staged (availability policy run-anyway; Info says how many inputs
+	// were "missing, run anyway").
+	DataUnavailable Kind = "data_unavailable"
+	DataPersisted   Kind = "data_persisted"
+	// DataRestaged marks a replica re-created during a checkpoint restore
+	// because every node recorded as holding it has left the pool: the
+	// value is fetched ahead of demand from a surviving tier (the persist
+	// node, or the snapshot's encoded value on the live backend).
+	DataRestaged  Kind = "data_restaged"
 	NodeAdded     Kind = "node_added"
 	NodeRemoved   Kind = "node_removed"
 	NodeFailed    Kind = "node_failed"

@@ -216,6 +216,13 @@ type Plan struct {
 	// MissingKeys lists keys with no replica anywhere (caller decides
 	// whether that is fatal or means "recompute").
 	MissingKeys []Key
+	// UnreachableKeys lists keys that do have replicas, but every one
+	// sits behind a cut link (network partition): nothing is lost, yet
+	// nothing can be fetched until the partition heals. The engine's
+	// availability policies (engine.Availability) treat the two cases
+	// differently — lost data is recomputed through lineage, partitioned
+	// data can simply be waited out.
+	UnreachableKeys []Key
 }
 
 // Move is one planned fetch.
@@ -242,8 +249,10 @@ func (m *Manager) Registry() *Registry { return m.reg }
 
 // PlanFetch computes the transfers needed so dest holds every key, choosing
 // the fastest source for each (replicas already local cost nothing). Keys
-// with no replica anywhere — or whose every replica sits behind a cut link
-// (network partition) — are reported as missing rather than planned.
+// that cannot be materialised are classified rather than planned: no
+// replica anywhere → MissingKeys (lost; only re-execution can bring the
+// data back), replicas present but every one behind a cut link →
+// UnreachableKeys (partitioned; a heal makes them plannable again).
 func (m *Manager) PlanFetch(dest string, keys []Key) Plan {
 	var p Plan
 	for _, k := range keys {
@@ -258,7 +267,7 @@ func (m *Manager) PlanFetch(dest string, keys []Key) Plan {
 		size := m.reg.Size(k)
 		src, t, ok := m.net.BestSource(dest, sources, size)
 		if !ok {
-			p.MissingKeys = append(p.MissingKeys, k)
+			p.UnreachableKeys = append(p.UnreachableKeys, k)
 			continue
 		}
 		p.Time += t

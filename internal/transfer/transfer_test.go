@@ -129,6 +129,25 @@ func TestPlanFetchReportsMissing(t *testing.T) {
 	}
 }
 
+func TestPlanFetchClassifiesUnreachable(t *testing.T) {
+	m, reg := newManager()
+	k := key(9, 1)
+	reg.SetSize(k, 10)
+	reg.AddReplica(k, "src")
+	m.net.Cut("src", "dest")
+	p := m.PlanFetch("dest", []Key{k})
+	if len(p.MissingKeys) != 0 {
+		t.Fatalf("missing = %v, want none (replica exists, just cut off)", p.MissingKeys)
+	}
+	if len(p.UnreachableKeys) != 1 || p.UnreachableKeys[0] != k {
+		t.Fatalf("unreachable = %v, want [%v]", p.UnreachableKeys, k)
+	}
+	m.net.Heal("src", "dest")
+	if p := m.PlanFetch("dest", []Key{k}); len(p.Moves) != 1 {
+		t.Fatalf("after heal: moves = %v, want one fetch", p.Moves)
+	}
+}
+
 func TestApplyRecordsNewReplicas(t *testing.T) {
 	m, reg := newManager()
 	k := key(1, 1)

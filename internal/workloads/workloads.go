@@ -455,6 +455,46 @@ func CommutativeReduce(n int, updDur time.Duration) []infra.TaskSpec {
 	return specs
 }
 
+// PartitionPipeline builds the partition-recovery drill workload (E15):
+// one unpinned producer writes a shared datum, then `consumers` readers —
+// pinned to the cloud tier, released at `release` so a scripted cut can
+// land between production and consumption — each derive a sink from it,
+// and one collector (also cloud-pinned) joins the sinks. When a cut
+// isolates the producer's side before the readers become visible, every
+// replica of the shared datum is unreachable from the tier the readers
+// must run on: exactly the placement decision the engine's availability
+// policies (run-anyway / defer / recompute) disagree about.
+func PartitionPipeline(consumers int, produceDur, consumeDur time.Duration, bytes int64, release time.Duration) []infra.TaskSpec {
+	const shared deps.DataID = 1
+	cloud := resources.Constraints{Class: resources.Cloud}
+	specs := []infra.TaskSpec{{
+		ID: 0, Class: "part.produce", Duration: produceDur,
+		Accesses:    []deps.Access{{Data: shared, Dir: deps.Out}},
+		OutputBytes: map[deps.DataID]int64{shared: bytes},
+	}}
+	var sink deps.DataID = 2
+	collect := infra.TaskSpec{
+		ID: int64(consumers + 1), Class: "part.collect", Duration: time.Second,
+		Constraints: cloud,
+	}
+	for i := 0; i < consumers; i++ {
+		specs = append(specs, infra.TaskSpec{
+			ID: int64(i + 1), Class: "part.consume", Duration: consumeDur,
+			Constraints: cloud, Release: release,
+			Accesses: []deps.Access{
+				{Data: shared, Dir: deps.In},
+				{Data: sink, Dir: deps.Out},
+			},
+			OutputBytes: map[deps.DataID]int64{sink: 1e3},
+		})
+		collect.Accesses = append(collect.Accesses, deps.Access{Data: sink, Dir: deps.In})
+		sink++
+	}
+	collect.Accesses = append(collect.Accesses, deps.Access{Data: sink, Dir: deps.Out})
+	collect.OutputBytes = map[deps.DataID]int64{sink: 1e3}
+	return append(specs, collect)
+}
+
 // ConformanceCase is one generator instance of the backend-conformance
 // suite: a named spec set, its staged-in data, and the single node able to
 // serialise it (one core, every required capability), so schedules are
@@ -495,6 +535,9 @@ func ConformanceSuite() []ConformanceCase {
 	hpc1 := resources.Description{
 		Cores: 1, MemoryMB: 32_000, SpeedFactor: 1, Class: resources.HPC,
 	}
+	cloud1 := resources.Description{
+		Cores: 1, MemoryMB: 32_000, SpeedFactor: 1, Class: resources.Cloud,
+	}
 	return []ConformanceCase{
 		{Name: "gwas", Specs: gwasSpecs, StageIn: gwasStage, Node: hpc1},
 		{Name: "nmmb", Specs: NMMB(nmmb), Node: hpc1},
@@ -504,6 +547,11 @@ func ConformanceSuite() []ConformanceCase {
 		{Name: "producer-consumer", Specs: ProducerConsumerLoop(3, 3, 4*time.Second), Node: hpc1},
 		{Name: "map-reduce", Specs: MapReduce(4, 2, 3*time.Second, 5*time.Second, 2e6), Node: hpc1},
 		{Name: "commutative-reduce", Specs: CommutativeReduce(5, 3*time.Second), Node: hpc1},
+		// Cloud-class node: the partition pipeline pins its consumers to
+		// the cloud tier, so the single conformance node must satisfy it.
+		// Wide enough that a mid-run halt in the checkpoint round-trip
+		// sweep lands after at least one every-3 snapshot.
+		{Name: "partition-pipeline", Specs: PartitionPipeline(6, 2*time.Second, 3*time.Second, 2e6, 0), Node: cloud1},
 	}
 }
 
