@@ -28,6 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +43,7 @@ import (
 	"repro/internal/infra"
 	"repro/internal/mlpredict"
 	"repro/internal/resources"
+	"repro/internal/scalebench"
 	"repro/internal/sched"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -69,8 +73,61 @@ func run() error {
 		ckptDir  = flag.String("checkpoint-dir", "checkpoints", "snapshot directory for -checkpoint")
 		restore  = flag.String("restore", "", "resume from the latest valid snapshot in this directory")
 		haltAt   = flag.Duration("halt-at", 0, "kill the engine at this virtual instant (simulated process death)")
+
+		ckptDelta   = flag.Bool("checkpoint-delta", false, "persist checkpoints as delta chains (base + O(changes) deltas)")
+		ckptCompact = flag.Int("checkpoint-compact", 0, "compact a delta chain into a fresh base every n deltas (0 = default)")
+		pprofDir    = flag.String("pprof", "", "write cpu.pprof / heap.pprof / mutex.pprof into this directory")
+
+		scale         = flag.Bool("scale", false, "run the million-task scale benchmark instead of a workload (see internal/scalebench)")
+		scaleWidth    = flag.Int("scale-width", 0, "scale mode: independent chain count (0 = tasks/100)")
+		scaleInterval = flag.Duration("scale-interval", 2*time.Minute, "scale mode: virtual checkpoint interval")
+		benchOut      = flag.String("bench-out", "BENCH_scale.json", "scale mode: report output path")
+		noProbe       = flag.Bool("no-mutex-probe", false, "scale mode: skip the concurrent contention probe")
 	)
 	flag.Parse()
+
+	if *pprofDir != "" {
+		stop, err := startProfiles(*pprofDir)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+
+	if *scale {
+		// Scale mode has its own defaults (a million tasks over a thousand
+		// nodes, delta persistence on); explicitly-passed flags override.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		cfg := scalebench.Default()
+		if set["tasks"] {
+			cfg.Tasks = *tasks
+		}
+		if set["nodes"] {
+			cfg.Nodes = *nodes
+		}
+		if *scaleWidth > 0 {
+			cfg.Width = *scaleWidth
+		}
+		cfg.Interval = *scaleInterval
+		if set["checkpoint-delta"] {
+			cfg.Delta = *ckptDelta
+		}
+		cfg.CompactEvery = *ckptCompact
+		cfg.Seed = *seed
+		cfg.MutexProbe = !*noProbe
+		cfg.Dir = *ckptDir
+		tempDir := !set["checkpoint-dir"]
+		if tempDir {
+			dir, err := os.MkdirTemp("", "flowgo-scale-ckpt")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			cfg.Dir = dir
+		}
+		return runScale(cfg, *benchOut)
+	}
 
 	script, err := faults.Parse(*faultStr)
 	if err != nil {
@@ -144,7 +201,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		cfg.Checkpoint = &checkpoint.Config{Store: ckptStore, Policy: ckptPolicy}
+		cfg.Checkpoint = &checkpoint.Config{
+			Store: ckptStore, Policy: ckptPolicy,
+			Delta: *ckptDelta, CompactEvery: *ckptCompact,
+		}
 	}
 	var restoredFrom *checkpoint.Snapshot
 	if *restore != "" {
@@ -226,8 +286,12 @@ func run() error {
 			avail, res.TasksDeferred, res.TasksRanMissing)
 	}
 	if ckptStore != nil {
-		fmt.Printf("checkpoints:     %s → %s (%d on disk)\n",
-			ckptPolicy, ckptStore.Dir(), len(ckptStore.Snapshots()))
+		mode := ""
+		if *ckptDelta {
+			mode = ", delta chains"
+		}
+		fmt.Printf("checkpoints:     %s → %s (%d on disk%s)\n",
+			ckptPolicy, ckptStore.Dir(), len(ckptStore.Snapshots()), mode)
 	}
 	if restoredFrom != nil {
 		fmt.Printf("restored:        %d tasks from snapshot %d (%s)\n",
@@ -254,6 +318,79 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runScale executes the scale benchmark and writes the report.
+func runScale(cfg scalebench.Config, out string) error {
+	cfg.Progress = func(line string) { fmt.Fprintln(os.Stderr, "scale:", line) }
+	fmt.Printf("scale benchmark: %d tasks, %d chains, %d nodes, checkpoint every %v (delta=%v)\n",
+		cfg.Tasks, cfg.Width, cfg.Nodes, cfg.Interval, cfg.Delta)
+	rep, err := scalebench.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sim makespan:    %.0fs (virtual)\n", rep.Run.SimMakespanSec)
+	fmt.Printf("wall time:       %.1fs build, %.1fs run (%.1fs captures of which %.1fs comparison-only, %.1fs saves)\n",
+		rep.Run.BuildWallSec, rep.Run.RunWallSec, rep.Run.CaptureWallSec, rep.Run.MeasureWallSec, rep.Run.SaveWallSec)
+	fmt.Printf("throughput:      %.0f tasks/s scheduling, %.0f tasks/s effective\n",
+		rep.Run.TasksPerSec, rep.Run.EffectiveTasksPerSec)
+	fmt.Printf("wave latency:    p50 %.1fµs, p99 %.1fµs, max %.1fµs\n",
+		rep.WaveLatencyUS.P50, rep.WaveLatencyUS.P99, rep.WaveLatencyUS.Max)
+	fmt.Printf("capture cost:    full p50 %.1fms vs delta p50 %.3fms (%.0f× cheaper), %d captures, %d skipped\n",
+		rep.Checkpoint.FullCaptureMS.P50, rep.Checkpoint.DeltaCaptureMS.P50,
+		rep.Checkpoint.FullOverDeltaP50, rep.Checkpoint.Captures, rep.Checkpoint.Skipped)
+	if rep.Restore != nil {
+		status := "FAILED"
+		if rep.Restore.OK {
+			status = "ok"
+		}
+		fmt.Printf("restore check:   %s — Latest() replayed %d completions in %.0fms (%d bases + %d deltas, %.1f MB on disk)\n",
+			status, rep.Restore.Completed, rep.Restore.LatestMS,
+			rep.Checkpoint.Bases, rep.Checkpoint.Deltas, float64(rep.Checkpoint.DiskBytes)/1e6)
+	}
+	if rep.Contention != nil {
+		fmt.Printf("mutex probe:     %.3fms total wait over %d ops × %d goroutines (%.1f ns/op)\n",
+			rep.Contention.WaitSeconds*1e3, rep.Contention.Ops, rep.Contention.Goroutines, rep.Contention.WaitPerOpNS)
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		return err
+	}
+	fmt.Printf("report:          %s\n", out)
+	if rep.Restore != nil && !rep.Restore.OK {
+		return fmt.Errorf("restore verification failed: %d/%d completions reconstructed", rep.Restore.Completed, cfg.Tasks)
+	}
+	return nil
+}
+
+// startProfiles turns on CPU and mutex profiling and returns the stop
+// function that flushes cpu.pprof, mutex.pprof and heap.pprof into dir.
+func startProfiles(dir string) (func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	prev := runtime.SetMutexProfileFraction(5)
+	return func() {
+		pprof.StopCPUProfile()
+		cpu.Close()
+		runtime.SetMutexProfileFraction(prev)
+		if f, err := os.Create(filepath.Join(dir, "mutex.pprof")); err == nil {
+			pprof.Lookup("mutex").WriteTo(f, 0)
+			f.Close()
+		}
+		runtime.GC()
+		if f, err := os.Create(filepath.Join(dir, "heap.pprof")); err == nil {
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+	}, nil
 }
 
 // parseSteal reads the -steal flag: off, on-idle, or threshold:<n>.

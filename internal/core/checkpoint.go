@@ -146,19 +146,57 @@ func (rt *Runtime) RestagedReplicas() int {
 // restore.
 func (rt *Runtime) CheckpointSnapshot() *checkpoint.Snapshot {
 	snap := checkpoint.Capture(rt.eng, rt.cfg.Locations)
+	rt.attachValues(snap.Catalog)
+	return snap
+}
+
+// CheckpointBase implements checkpoint.DeltaSource: the full capture
+// that starts (or compacts) a delta chain, values attached like
+// CheckpointSnapshot.
+func (rt *Runtime) CheckpointBase() *checkpoint.Snapshot {
+	snap := checkpoint.CaptureBase(rt.eng, rt.cfg.Locations)
+	rt.attachValues(snap.Catalog)
+	return snap
+}
+
+// CheckpointDelta implements checkpoint.DeltaSource: the changes since
+// the last capture, with encoded values attached to the changed catalog
+// rows so a chain reconstruction restores values exactly like a full
+// snapshot would.
+func (rt *Runtime) CheckpointDelta() *checkpoint.Delta {
+	d := checkpoint.CaptureDelta(rt.eng, rt.cfg.Locations)
+	rt.attachValues(d.Catalog)
+	return d
+}
+
+// CheckpointDirty implements checkpoint.DeltaSource.
+func (rt *Runtime) CheckpointDirty() int {
+	n := rt.eng.DirtyCount()
+	if rt.cfg.Locations != nil {
+		n += rt.cfg.Locations.DirtyCount()
+	}
+	return n
+}
+
+// attachValues adds a gob-encoded value to every catalog row the value
+// table holds (a vanished-entry tombstone — zero size, no locations —
+// stays value-free so reconstruction drops it).
+func (rt *Runtime) attachValues(catalog []checkpoint.CatalogEntry) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	for i := range snap.Catalog {
-		slot, ok := rt.values[snap.Catalog[i].Key.Version()]
+	for i := range catalog {
+		if catalog[i].Size == 0 && len(catalog[i].Locations) == 0 {
+			continue
+		}
+		slot, ok := rt.values[catalog[i].Key.Version()]
 		if !ok || slot.err != nil {
 			continue
 		}
 		if b, encoded := checkpoint.EncodeValue(slot.val); encoded {
-			snap.Catalog[i].Value = b
-			snap.Catalog[i].HasValue = true
+			catalog[i].Value = b
+			catalog[i].HasValue = true
 		}
 	}
-	return snap
 }
 
 // Checkpoint takes an on-demand snapshot (requires Config.Checkpoint

@@ -149,13 +149,35 @@ type dataState struct {
 // NoTask is the sentinel for "no producing task" (externally provided data).
 const NoTask TaskID = -1
 
+// depShards is the stripe count of the processor's datum table. Sixteen
+// stripes keep concurrent registrations from unrelated workflow regions
+// off each other's locks without bloating the struct.
+const depShards = 16
+
+// depShard is one stripe: its slice of the datum table plus its own edge
+// counters, so Register never touches a process-global counter word.
+type depShard struct {
+	mu    sync.Mutex
+	data  map[DataID]*dataState
+	stats Stats
+}
+
 // Processor derives task dependencies from declared accesses. It is safe
-// for concurrent use.
+// for concurrent use: the datum table is hash-sharded by DataID, a
+// registration locks only the stripes its accesses touch (in stripe
+// order, so overlapping registrations serialise without deadlock), and
+// edge counters are kept per stripe and summed on read — registrations
+// over disjoint data proceed fully in parallel.
 type Processor struct {
-	mu       sync.Mutex
 	renaming bool
-	data     map[DataID]*dataState
-	stats    Stats
+	shards   [depShards]depShard
+}
+
+// shardIndex maps a datum to its stripe.
+func shardIndex(d DataID) int {
+	h := uint64(d) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return int(h % depShards)
 }
 
 // Option configures a Processor.
@@ -169,9 +191,9 @@ func WithoutRenaming() Option {
 
 // NewProcessor returns an access processor with renaming enabled.
 func NewProcessor(opts ...Option) *Processor {
-	p := &Processor{
-		renaming: true,
-		data:     make(map[DataID]*dataState),
+	p := &Processor{renaming: true}
+	for i := range p.shards {
+		p.shards[i].data = make(map[DataID]*dataState)
 	}
 	for _, o := range opts {
 		o(p)
@@ -182,32 +204,69 @@ func NewProcessor(opts ...Option) *Processor {
 // RenamingEnabled reports whether version renaming is on.
 func (p *Processor) RenamingEnabled() bool { return p.renaming }
 
-// Stats returns edge counts by kind.
+// Stats returns edge counts by kind, summed over the stripes.
 func (p *Processor) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var total Stats
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		total.RAW += s.stats.RAW
+		total.WAR += s.stats.WAR
+		total.WAW += s.stats.WAW
+		total.Group += s.stats.Group
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // CurrentVersion returns the newest version of a datum (0 if never written
 // and never registered).
 func (p *Processor) CurrentVersion(d DataID) Version {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	st, ok := p.data[d]
+	s := &p.shards[shardIndex(d)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.data[d]
 	if !ok {
 		return Version{Data: d, Ver: 0}
 	}
 	return Version{Data: d, Ver: st.ver}
 }
 
+// lockFor locks the stripes named in mask, in stripe order — the one
+// acquisition order every caller shares, so two registrations whose data
+// overlap serialise on the shared stripes instead of deadlocking.
+func (p *Processor) lockFor(mask *[depShards]bool) {
+	for i := range p.shards {
+		if mask[i] {
+			p.shards[i].mu.Lock()
+		}
+	}
+}
+
+// unlockFor releases the stripes named in mask.
+func (p *Processor) unlockFor(mask *[depShards]bool) {
+	for i := range p.shards {
+		if mask[i] {
+			p.shards[i].mu.Unlock()
+		}
+	}
+}
+
 // Register records the accesses of a task and returns its dependencies and
 // the exact data versions it reads and writes. Accesses on the same datum
 // within one task should be merged by the caller (the most permissive rule
-// applies if not: later entries see the state left by earlier ones).
+// applies if not: later entries see the state left by earlier ones). Only
+// the stripes holding the accessed data are locked.
 func (p *Processor) Register(task TaskID, accesses []Access) Result {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	if len(accesses) == 0 {
+		return Result{}
+	}
+	var mask [depShards]bool
+	for _, a := range accesses {
+		mask[shardIndex(a.Data)] = true
+	}
+	p.lockFor(&mask)
+	defer p.unlockFor(&mask)
 	return p.registerLocked(task, accesses)
 }
 
@@ -218,13 +277,19 @@ type TaskAccesses struct {
 	Accesses []Access
 }
 
-// RegisterBatch registers several tasks under a single lock acquisition,
-// in slice order, and returns one Result per task. Registering a whole
-// workflow this way costs one lock round-trip instead of one per task,
-// which matters when simulations build million-task graphs.
+// RegisterBatch registers several tasks under a single lock acquisition
+// per stripe, in slice order, and returns one Result per task.
+// Registering a whole workflow this way costs one lock round-trip instead
+// of one per task, which matters when simulations build million-task
+// graphs. All stripes are held for the duration, so the batch is atomic
+// exactly as it was under the old single mutex.
 func (p *Processor) RegisterBatch(batch []TaskAccesses) []Result {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	var all [depShards]bool
+	for i := range all {
+		all[i] = true
+	}
+	p.lockFor(&all)
+	defer p.unlockFor(&all)
 	out := make([]Result, len(batch))
 	for i, b := range batch {
 		out[i] = p.registerLocked(b.Task, b.Accesses)
@@ -232,7 +297,7 @@ func (p *Processor) RegisterBatch(batch []TaskAccesses) []Result {
 	return out
 }
 
-// registerLocked is Register with p.mu held.
+// registerLocked is Register with every stripe the accesses touch held.
 func (p *Processor) registerLocked(task TaskID, accesses []Access) Result {
 	if len(accesses) == 0 {
 		return Result{}
@@ -240,6 +305,10 @@ func (p *Processor) registerLocked(task TaskID, accesses []Access) Result {
 	depSet := make(map[TaskID]struct{})
 	var res Result
 
+	// stats points at the stripe of the access currently being processed,
+	// so each edge is attributed to (and counted under the lock of) the
+	// stripe whose datum produced it.
+	var stats *Stats
 	addDep := func(t TaskID, kind EdgeKind) {
 		if t == NoTask || t == task {
 			return
@@ -250,21 +319,23 @@ func (p *Processor) registerLocked(task TaskID, accesses []Access) Result {
 		depSet[t] = struct{}{}
 		switch kind {
 		case RAW:
-			p.stats.RAW++
+			stats.RAW++
 		case WAR:
-			p.stats.WAR++
+			stats.WAR++
 		case WAW:
-			p.stats.WAW++
+			stats.WAW++
 		case Group:
-			p.stats.Group++
+			stats.Group++
 		}
 	}
 
 	for _, a := range accesses {
-		st, ok := p.data[a.Data]
+		shard := &p.shards[shardIndex(a.Data)]
+		stats = &shard.stats
+		st, ok := shard.data[a.Data]
 		if !ok {
 			st = &dataState{lastWriter: NoTask}
-			p.data[a.Data] = st
+			shard.data[a.Data] = st
 		}
 
 		switch a.Dir {
@@ -375,9 +446,10 @@ func mergeDir(a, b Direction) Direction {
 // file staged in before the run). It is a no-op if the datum was already
 // accessed.
 func (p *Processor) SetInitialWriter(d DataID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.data[d]; !ok {
-		p.data[d] = &dataState{lastWriter: NoTask}
+	s := &p.shards[shardIndex(d)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.data[d]; !ok {
+		s.data[d] = &dataState{lastWriter: NoTask}
 	}
 }

@@ -204,6 +204,7 @@ func (e *Engine) divertUnavailableLocked(t *Task) {
 	keys := append([]transfer.Key(nil), e.availMissing...)
 	primary := e.availPrimary
 	t.state = Parked
+	e.markDirtyLocked(t)
 	t.availKeys = keys
 	if e.waiters == nil {
 		e.waiters = make(map[transfer.Key]map[int64]struct{})

@@ -46,6 +46,7 @@ package checkpoint
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/deps"
@@ -120,6 +121,12 @@ type Snapshot struct {
 	// Catalog is the data-version catalog (handle → size/locations, plus
 	// encoded values on the live backend).
 	Catalog []CatalogEntry `json:"catalog,omitempty"`
+	// Order is every registered task ID in registration order — the
+	// interleaving the four sections above lose. Delta reconstruction
+	// needs it to rebuild the sections of a later state in the exact
+	// order a direct capture would produce. Snapshots written before the
+	// field existed omit it; TaskOrder falls back to ascending IDs.
+	Order []int64 `json:"order,omitempty"`
 	// Stats are the engine's activity counters at capture time.
 	Stats engine.Stats `json:"stats"`
 }
@@ -133,12 +140,57 @@ func (s *Snapshot) CompletedIDs() []int64 {
 	return out
 }
 
+// TaskOrder returns every task ID in registration order: the Order
+// field when present, otherwise all section IDs sorted ascending — both
+// backends assign IDs in submission order, so ascending ID equals
+// registration order for snapshots predating the field.
+func (s *Snapshot) TaskOrder() []int64 {
+	if len(s.Order) > 0 {
+		return append([]int64(nil), s.Order...)
+	}
+	ids := make([]int64, 0, len(s.Completed)+len(s.Ready)+len(s.Running)+len(s.Pending))
+	for _, r := range s.Completed {
+		ids = append(ids, r.ID)
+	}
+	ids = append(ids, s.Ready...)
+	ids = append(ids, s.Running...)
+	ids = append(ids, s.Pending...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 // Capture assembles a snapshot of the engine's current state. reg, when
 // non-nil, supplies the data catalog (sizes and replica locations); the
-// live backend additionally attaches encoded values afterwards.
+// live backend additionally attaches encoded values afterwards. Capture
+// is side-effect-free: it leaves the dirty sets feeding delta captures
+// untouched, so parity probes can snapshot at will.
 func Capture(e *engine.Engine, reg *transfer.Registry) *Snapshot {
+	var entries []transfer.Entry
+	if reg != nil {
+		entries = reg.Entries()
+	}
+	return build(e, e.SnapshotTasks(), entries)
+}
+
+// CaptureBase is Capture with a dirty-set reset on both the engine and
+// the registry: the full snapshot that starts (or compacts) a delta
+// chain. The deltas captured after it cover exactly the changes since.
+func CaptureBase(e *engine.Engine, reg *transfer.Registry) *Snapshot {
+	snaps := e.SnapshotTasksClean()
+	var entries []transfer.Entry
+	if reg != nil {
+		entries = reg.EntriesClean()
+	}
+	return build(e, snaps, entries)
+}
+
+func build(e *engine.Engine, tasks []engine.TaskSnap, entries []transfer.Entry) *Snapshot {
 	snap := &Snapshot{Format: Format, At: e.Now(), Stats: e.Stats()}
-	for _, ts := range e.SnapshotTasks() {
+	if len(tasks) > 0 {
+		snap.Order = make([]int64, 0, len(tasks))
+	}
+	for _, ts := range tasks {
+		snap.Order = append(snap.Order, ts.ID)
 		switch {
 		case ts.Completed && ts.State == engine.Done:
 			rec := TaskRecord{ID: ts.ID, Epoch: ts.Epoch}
@@ -154,14 +206,12 @@ func Capture(e *engine.Engine, reg *transfer.Registry) *Snapshot {
 			snap.Pending = append(snap.Pending, ts.ID)
 		}
 	}
-	if reg != nil {
-		for _, en := range reg.Entries() {
-			snap.Catalog = append(snap.Catalog, CatalogEntry{
-				Key:       CatalogKey{Data: int64(en.Key.Data), Ver: en.Key.Ver},
-				Size:      en.Size,
-				Locations: en.Locations,
-			})
-		}
+	for _, en := range entries {
+		snap.Catalog = append(snap.Catalog, CatalogEntry{
+			Key:       CatalogKey{Data: int64(en.Key.Data), Ver: en.Key.Ver},
+			Size:      en.Size,
+			Locations: en.Locations,
+		})
 	}
 	return snap
 }

@@ -22,6 +22,28 @@ type Source interface {
 	CheckpointSnapshot() *Snapshot
 }
 
+// DeltaSource is the incremental-capture extension of Source. Both
+// backends implement it; the Checkpointer uses it when Config.Delta is
+// set (for chained delta saves) and — regardless of mode — to skip
+// automatic captures when nothing changed since the last one.
+type DeltaSource interface {
+	Source
+	// CheckpointBase captures the full state and resets the dirty sets,
+	// starting (or compacting) a delta chain.
+	CheckpointBase() *Snapshot
+	// CheckpointDelta drains the dirty sets into a delta.
+	CheckpointDelta() *Delta
+	// CheckpointDirty reports how many records changed since the last
+	// base or delta capture — zero means a capture would be a no-op.
+	CheckpointDirty() int
+}
+
+// DefaultCompactEvery is the delta-chain length at which the
+// Checkpointer writes a fresh base when Config.CompactEvery is unset:
+// long enough that base cost amortises to a small constant per capture,
+// short enough that reconstruction replays a bounded chain.
+const DefaultCompactEvery = 8
+
 // Config wires a Checkpointer into a backend.
 type Config struct {
 	// Store receives snapshots. Required.
@@ -34,6 +56,16 @@ type Config struct {
 	Timer Timer
 	// Tracer, when set, records a CheckpointSaved event per snapshot.
 	Tracer *trace.Tracer
+	// Delta switches automatic saves to incremental mode: a full base
+	// first, then deltas carrying only the changes since the previous
+	// save, with a fresh base (compaction) every CompactEvery deltas.
+	// Requires the source to implement DeltaSource; on-demand Save and
+	// the drain save always write full snapshots.
+	Delta bool
+	// CompactEvery is the number of consecutive deltas after which the
+	// next automatic save writes a full base instead (default
+	// DefaultCompactEvery).
+	CompactEvery int
 }
 
 // Checkpointer drives a Source against a Store under a Policy. Backends
@@ -47,6 +79,10 @@ type Checkpointer struct {
 	mu          sync.Mutex
 	completions int
 	saves       int
+	deltaSaves  int // saves that were deltas (subset of saves)
+	skipped     int // automatic captures skipped because nothing changed
+	chainLen    int // deltas since the last base
+	haveBase    bool
 	lastSeq     int
 	lastErr     error
 	stopped     bool
@@ -72,7 +108,7 @@ func (c *Checkpointer) arm(next time.Duration) {
 		if stopped {
 			return
 		}
-		_ = c.Save()
+		_ = c.autoSave()
 		c.arm(next + c.cfg.Policy.Every)
 	})
 }
@@ -89,7 +125,7 @@ func (c *Checkpointer) TaskCompleted() {
 	due := c.completions%c.cfg.Policy.N == 0
 	c.mu.Unlock()
 	if due {
-		_ = c.Save()
+		_ = c.autoSave()
 	}
 }
 
@@ -101,10 +137,59 @@ func (c *Checkpointer) Drained() {
 	}
 }
 
-// Save captures and persists one snapshot immediately, regardless of
-// policy — the on-demand checkpoint.
+// Save captures and persists one full snapshot immediately, regardless
+// of policy — the on-demand checkpoint. The capture is side-effect-free
+// (dirty sets are left alone), so an explicit Save never perturbs a
+// running delta chain: the next delta simply carries a superset of the
+// changes, and absolute records make re-application harmless.
 func (c *Checkpointer) Save() error {
 	snap := c.src.CheckpointSnapshot()
+	return c.commitSnap(snap)
+}
+
+// autoSave is the policy-triggered capture path. With a DeltaSource it
+// is change-aware: the first save writes a base, an idle trigger (no
+// changes since the last capture) is skipped outright instead of paying
+// a full graph walk for a no-op snapshot, and — in delta mode — the
+// steady state writes chained deltas with a compacting base every
+// CompactEvery. Sources without delta support keep the historical
+// full-capture-every-trigger behaviour.
+func (c *Checkpointer) autoSave() error {
+	ds, ok := c.src.(DeltaSource)
+	if !ok {
+		return c.Save()
+	}
+	c.mu.Lock()
+	compact := c.cfg.CompactEvery
+	if compact <= 0 {
+		compact = DefaultCompactEvery
+	}
+	kind := "base"
+	switch {
+	case !c.haveBase:
+		// first capture: a chain needs a base beneath it
+	case ds.CheckpointDirty() == 0:
+		kind = "skip"
+	case c.cfg.Delta && c.chainLen < compact:
+		kind = "delta"
+	}
+	c.mu.Unlock()
+	switch kind {
+	case "skip":
+		c.mu.Lock()
+		c.skipped++
+		c.mu.Unlock()
+		return nil
+	case "delta":
+		return c.commitDelta(ds.CheckpointDelta())
+	default:
+		return c.commitBase(ds.CheckpointBase())
+	}
+}
+
+// commitSnap persists a full snapshot that does NOT reset dirty sets
+// (explicit Save); it leaves the chain bookkeeping untouched.
+func (c *Checkpointer) commitSnap(snap *Snapshot) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.stopped {
@@ -117,12 +202,62 @@ func (c *Checkpointer) Save() error {
 	}
 	c.saves++
 	c.lastSeq = snap.Seq
+	c.traceSavedLocked(snap.At, path)
+	return nil
+}
+
+// commitBase persists a chain-starting base (dirty sets already reset by
+// the capture).
+func (c *Checkpointer) commitBase(snap *Snapshot) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return nil
+	}
+	path, err := c.cfg.Store.Save(snap)
+	if err != nil {
+		c.lastErr = err
+		return err
+	}
+	c.saves++
+	c.haveBase = true
+	c.chainLen = 0
+	c.lastSeq = snap.Seq
+	c.traceSavedLocked(snap.At, path)
+	return nil
+}
+
+// commitDelta persists one delta, skipping empty ones (an idle interval
+// that raced the dirty check).
+func (c *Checkpointer) commitDelta(d *Delta) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return nil
+	}
+	if d.Empty() {
+		c.skipped++
+		return nil
+	}
+	path, err := c.cfg.Store.SaveDelta(d)
+	if err != nil {
+		c.lastErr = err
+		return err
+	}
+	c.saves++
+	c.deltaSaves++
+	c.chainLen++
+	c.lastSeq = d.Seq
+	c.traceSavedLocked(d.At, path)
+	return nil
+}
+
+func (c *Checkpointer) traceSavedLocked(at time.Duration, path string) {
 	if c.cfg.Tracer != nil {
 		c.cfg.Tracer.Record(trace.Event{
-			At: snap.At, Kind: trace.CheckpointSaved, Info: path,
+			At: at, Kind: trace.CheckpointSaved, Info: path,
 		})
 	}
-	return nil
 }
 
 // Stop disables further snapshots (armed interval callbacks become
@@ -133,11 +268,26 @@ func (c *Checkpointer) Stop() {
 	c.mu.Unlock()
 }
 
-// Saves returns how many snapshots have been persisted.
+// Saves returns how many snapshots have been persisted (full and delta).
 func (c *Checkpointer) Saves() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.saves
+}
+
+// DeltaSaves returns how many of the persisted saves were deltas.
+func (c *Checkpointer) DeltaSaves() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deltaSaves
+}
+
+// Skipped returns how many automatic captures were skipped because
+// nothing changed since the previous one.
+func (c *Checkpointer) Skipped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.skipped
 }
 
 // LastSeq returns the sequence number of the newest persisted snapshot

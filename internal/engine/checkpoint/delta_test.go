@@ -1,0 +1,356 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// chainBase builds a base snapshot: task 1 completed (output 1v1 on n0),
+// task 2 ready, task 3 pending.
+func chainBase() *Snapshot {
+	return &Snapshot{
+		Format: Format, At: time.Second,
+		Order:     []int64{1, 2, 3},
+		Completed: []TaskRecord{{ID: 1, Epoch: 1, Outputs: []CatalogKey{{Data: 1, Ver: 1}}}},
+		Ready:     []int64{2},
+		Pending:   []int64{3},
+		Catalog: []CatalogEntry{{
+			Key: CatalogKey{Data: 1, Ver: 1}, Size: 10, Locations: []string{"n0"},
+		}},
+		Stats: engine.Stats{Completed: 1},
+	}
+}
+
+// doneRecord is a delta record marking id completed with output (id,1).
+func doneRecord(id int64) DeltaTask {
+	return DeltaTask{
+		ID: id, State: engine.Done, Epoch: 1, Completed: true,
+		Outputs: []CatalogKey{{Data: id, Ver: 1}},
+	}
+}
+
+func TestDeltaChainLatestReconstruction(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Save(chainBase()); err != nil {
+		t.Fatal(err)
+	}
+	// Delta 1: task 2 completes, its output lands in the catalog.
+	d1 := &Delta{
+		Format: Format, At: 2 * time.Second,
+		Tasks: []DeltaTask{doneRecord(2), {ID: 3, State: engine.Ready}},
+		Catalog: []CatalogEntry{{
+			Key: CatalogKey{Data: 2, Ver: 1}, Size: 5, Locations: []string{"n1"},
+		}},
+		Stats: engine.Stats{Completed: 2},
+	}
+	if _, err := store.SaveDelta(d1); err != nil {
+		t.Fatal(err)
+	}
+	// Delta 2: task 4 registered and ready; 1v1's entry vanishes
+	// (tombstone row: zero size, no locations).
+	d2 := &Delta{
+		Format: Format, At: 3 * time.Second,
+		Added:   []int64{4},
+		Tasks:   []DeltaTask{{ID: 4, State: engine.Ready}},
+		Catalog: []CatalogEntry{{Key: CatalogKey{Data: 1, Ver: 1}}},
+		Stats:   engine.Stats{Completed: 2},
+	}
+	if _, err := store.SaveDelta(d2); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 3 || snap.At != 3*time.Second || snap.Stats.Completed != 2 {
+		t.Fatalf("head fields: seq=%d at=%v stats=%+v", snap.Seq, snap.At, snap.Stats)
+	}
+	wantOrder := []int64{1, 2, 3, 4}
+	got := snap.TaskOrder()
+	if len(got) != len(wantOrder) {
+		t.Fatalf("order %v, want %v", got, wantOrder)
+	}
+	for i := range wantOrder {
+		if got[i] != wantOrder[i] {
+			t.Fatalf("order %v, want %v", got, wantOrder)
+		}
+	}
+	if len(snap.Completed) != 2 || snap.Completed[0].ID != 1 || snap.Completed[1].ID != 2 {
+		t.Fatalf("completed %+v", snap.Completed)
+	}
+	if len(snap.Ready) != 2 || snap.Ready[0] != 3 || snap.Ready[1] != 4 {
+		t.Fatalf("ready %v", snap.Ready)
+	}
+	if len(snap.Catalog) != 1 || snap.Catalog[0].Key != (CatalogKey{Data: 2, Ver: 1}) {
+		t.Fatalf("catalog %+v (tombstone not applied?)", snap.Catalog)
+	}
+}
+
+// corruptFile flips bytes in the middle of the file so the digest check
+// fails.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chainFiles lists the store's checkpoint files by kind, seq-ascending.
+func chainFiles(t *testing.T, store *Store) (bases, deltas []string) {
+	t.Helper()
+	for _, p := range store.Snapshots() {
+		if strings.HasPrefix(filepath.Base(p), "delta-") {
+			deltas = append(deltas, p)
+		} else {
+			bases = append(bases, p)
+		}
+	}
+	return bases, deltas
+}
+
+func TestDeltaCorruptionFreezesChainAtValidPrefix(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Save(chainBase()); err != nil {
+		t.Fatal(err)
+	}
+	// Three deltas completing tasks 2, 3, 4 (4 added in its delta).
+	for i, d := range []*Delta{
+		{Format: Format, Tasks: []DeltaTask{doneRecord(2)}, Stats: engine.Stats{Completed: 2}},
+		{Format: Format, Tasks: []DeltaTask{doneRecord(3)}, Stats: engine.Stats{Completed: 3}},
+		{Format: Format, Added: []int64{4}, Tasks: []DeltaTask{doneRecord(4)}, Stats: engine.Stats{Completed: 4}},
+	} {
+		if _, err := store.SaveDelta(d); err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+	}
+
+	_, deltas := chainFiles(t, store)
+	if len(deltas) != 3 {
+		t.Fatalf("%d delta files, want 3", len(deltas))
+	}
+	corruptFile(t, deltas[1]) // the middle link
+
+	snap, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chain is frozen after delta 1: tasks 1 and 2 completed; the
+	// records of deltas 2 and 3 are unreachable by construction (their
+	// ParentSeq can no longer match).
+	if len(snap.Completed) != 2 || snap.Seq != 2 {
+		t.Fatalf("prefix state: %d completed, seq %d (want 2, 2)", len(snap.Completed), snap.Seq)
+	}
+
+	// A corrupt base strands the whole chain: nothing valid remains.
+	bases, _ := chainFiles(t, store)
+	corruptFile(t, bases[0])
+	if _, err := store.Latest(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("corrupt base: err %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestDeltaMidChainFullSnapshotResetsChain(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Save(chainBase()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.SaveDelta(&Delta{Format: Format, Tasks: []DeltaTask{doneRecord(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	// An on-demand full save lands mid-chain (explicit Checkpointer.Save
+	// does exactly this). It subsumes the chain so far and resets it.
+	full := chainBase()
+	full.Completed = append(full.Completed, TaskRecord{ID: 2, Epoch: 1, Outputs: []CatalogKey{{Data: 2, Ver: 1}}})
+	full.Ready = nil
+	full.At = 5 * time.Second
+	if _, err := store.Save(full); err != nil {
+		t.Fatal(err)
+	}
+	// The next delta chains onto the full save.
+	if _, err := store.SaveDelta(&Delta{Format: Format, At: 6 * time.Second, Tasks: []DeltaTask{doneRecord(3)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Completed) != 3 || snap.At != 6*time.Second || snap.Seq != 4 {
+		t.Fatalf("reconstruction: %d completed, at %v, seq %d", len(snap.Completed), snap.At, snap.Seq)
+	}
+}
+
+func TestDeltaChainRetentionPrunesWholeChains(t *testing.T) {
+	store, err := NewStore(t.TempDir(), Keep(2)) // 2 is the retention minimum
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fullWith builds a compacting base recording ids completed.
+	fullWith := func(ids ...int64) *Snapshot {
+		s := &Snapshot{Format: Format}
+		for _, id := range ids {
+			s.Completed = append(s.Completed, TaskRecord{ID: id, Epoch: 1})
+		}
+		return s
+	}
+	// Chain 1: base + two deltas. All three must survive until enough
+	// newer bases exist — pruning mid-chain would break reconstruction.
+	if _, err := store.Save(chainBase()); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*Delta{
+		{Format: Format, Tasks: []DeltaTask{doneRecord(2)}},
+		{Format: Format, Tasks: []DeltaTask{doneRecord(3)}},
+	} {
+		if _, err := store.SaveDelta(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Chain 2: a compacting base plus one delta. Two bases on disk is
+	// within the budget, so chain 1 still stands.
+	if _, err := store.Save(fullWith(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.SaveDelta(&Delta{Format: Format, Added: []int64{4}, Tasks: []DeltaTask{doneRecord(4)}}); err != nil {
+		t.Fatal(err)
+	}
+	if files := store.Snapshots(); len(files) != 5 {
+		t.Fatalf("two chains: %d files on disk, want 5 (no mid-chain pruning)", len(files))
+	}
+	// Chain 3: the third base pushes chain 1 past the budget — the whole
+	// chain goes, never a base out from under live deltas.
+	if _, err := store.Save(fullWith(1, 2, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.SaveDelta(&Delta{Format: Format, Added: []int64{5}, Tasks: []DeltaTask{doneRecord(5)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	bases, deltas := chainFiles(t, store)
+	if len(bases) != 2 || len(deltas) != 2 {
+		t.Fatalf("after pruning: %d bases + %d deltas on disk, want 2 + 2", len(bases), len(deltas))
+	}
+	snap, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Completed) != 5 {
+		t.Fatalf("reconstruction after prune: %d completed, want 5", len(snap.Completed))
+	}
+}
+
+// fakeDeltaSource drives the Checkpointer's change-aware save logic
+// without an engine: dirty is the pending change count, and captures
+// drain it exactly like the real backends do.
+type fakeDeltaSource struct {
+	dirty     int
+	completed int64 // grows as "changes" are flushed into records
+}
+
+func (f *fakeDeltaSource) CheckpointSnapshot() *Snapshot {
+	return &Snapshot{Format: Format, Stats: engine.Stats{Completed: int(f.completed)}}
+}
+
+func (f *fakeDeltaSource) CheckpointBase() *Snapshot {
+	f.completed += int64(f.dirty)
+	f.dirty = 0
+	return &Snapshot{Format: Format, Stats: engine.Stats{Completed: int(f.completed)}}
+}
+
+func (f *fakeDeltaSource) CheckpointDelta() *Delta {
+	d := &Delta{Format: Format}
+	for i := 0; i < f.dirty; i++ {
+		f.completed++
+		d.Tasks = append(d.Tasks, doneRecord(f.completed))
+	}
+	f.dirty = 0
+	d.Stats = engine.Stats{Completed: int(f.completed)}
+	return d
+}
+
+func (f *fakeDeltaSource) CheckpointDirty() int { return f.dirty }
+
+func TestCheckpointerDeltaCadenceAndSkip(t *testing.T) {
+	store, err := NewStore(t.TempDir(), Keep(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &fakeDeltaSource{}
+	c := NewCheckpointer(Config{
+		Store: store, Policy: EveryN(1), Delta: true, CompactEvery: 2,
+	}, src)
+	defer c.Stop()
+
+	complete := func(changes int) {
+		src.dirty += changes
+		c.TaskCompleted()
+	}
+	complete(1) // first save: base
+	complete(1) // delta (chain length 1)
+	complete(1) // delta (chain length 2 = CompactEvery)
+	complete(1) // compaction: base
+	complete(0) // idle trigger: skipped outright
+	complete(1) // delta on the new chain
+
+	// Saves counts every persisted file; 2 of the 5 are bases.
+	if c.Saves() != 5 || c.DeltaSaves() != 3 || c.Skipped() != 1 {
+		t.Fatalf("saves=%d deltaSaves=%d skipped=%d, want 5/3/1",
+			c.Saves(), c.DeltaSaves(), c.Skipped())
+	}
+	bases, deltas := chainFiles(t, store)
+	if len(bases) != 2 || len(deltas) != 3 {
+		t.Fatalf("%d bases + %d deltas on disk, want 2 + 3", len(bases), len(deltas))
+	}
+	snap, err := store.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Stats.Completed != 5 {
+		t.Fatalf("reconstructed %d completions, want 5", snap.Stats.Completed)
+	}
+}
+
+func TestCheckpointerFullModeSkipsCleanIntervals(t *testing.T) {
+	store, err := NewStore(t.TempDir(), Keep(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &fakeDeltaSource{}
+	c := NewCheckpointer(Config{Store: store, Policy: EveryN(1)}, src)
+	defer c.Stop()
+
+	src.dirty = 1
+	c.TaskCompleted() // full save
+	c.TaskCompleted() // clean: skipped, no file
+	src.dirty = 1
+	c.TaskCompleted() // full save
+
+	if c.Saves() != 2 || c.DeltaSaves() != 0 || c.Skipped() != 1 {
+		t.Fatalf("saves=%d deltaSaves=%d skipped=%d, want 2/0/1",
+			c.Saves(), c.DeltaSaves(), c.Skipped())
+	}
+	if files := store.Snapshots(); len(files) != 2 {
+		t.Fatalf("%d files on disk, want 2", len(files))
+	}
+}

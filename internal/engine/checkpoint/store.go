@@ -82,15 +82,18 @@ func NewStore(dir string, opts ...StoreOption) (*Store, error) {
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
-// snapFile is one parsed directory entry.
+// snapFile is one parsed directory entry: a full snapshot ("snap-"
+// prefix) or a delta ("delta-" prefix).
 type snapFile struct {
 	name   string
 	seq    int
 	digest string
+	delta  bool
 }
 
-// list returns the snapshot files in the directory, sorted by sequence
-// number ascending. Unparseable names are ignored.
+// list returns the checkpoint files in the directory — full snapshots
+// and deltas — sorted by sequence number ascending. Unparseable names
+// are ignored.
 func (s *Store) list() []snapFile {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -99,10 +102,20 @@ func (s *Store) list() []snapFile {
 	var out []snapFile
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".ckpt") {
+		if !strings.HasSuffix(name, ".ckpt") {
 			continue
 		}
-		parts := strings.Split(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".ckpt"), "-")
+		var rest string
+		var delta bool
+		switch {
+		case strings.HasPrefix(name, "snap-"):
+			rest = strings.TrimPrefix(name, "snap-")
+		case strings.HasPrefix(name, "delta-"):
+			rest, delta = strings.TrimPrefix(name, "delta-"), true
+		default:
+			continue
+		}
+		parts := strings.Split(strings.TrimSuffix(rest, ".ckpt"), "-")
 		if len(parts) != 2 {
 			continue
 		}
@@ -110,7 +123,7 @@ func (s *Store) list() []snapFile {
 		if err != nil {
 			continue
 		}
-		out = append(out, snapFile{name: name, seq: seq, digest: parts[1]})
+		out = append(out, snapFile{name: name, seq: seq, digest: parts[1], delta: delta})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
@@ -140,12 +153,63 @@ func (s *Store) Save(snap *Snapshot) (string, error) {
 		_ = os.Remove(tmp)
 		return "", fmt.Errorf("checkpoint: commit: %w", err)
 	}
-	files := s.list()
-	for len(files) > s.keep {
-		_ = os.Remove(filepath.Join(s.dir, files[0].name))
-		files = files[1:]
-	}
+	s.pruneLocked()
 	return path, nil
+}
+
+// SaveDelta persists one delta, chained to the store's newest file (base
+// or delta) through ParentSeq, using the same atomic temp-and-rename and
+// content-addressed naming as Save. The caller guarantees a base was
+// saved to this store first — a delta with no base beneath it can never
+// be reconstructed.
+func (s *Store) SaveDelta(d *Delta) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d.ParentSeq = s.seq
+	s.seq++
+	d.Seq = s.seq
+	d.Format = Format
+	data, err := json.Marshal(d)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: encode delta: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	name := fmt.Sprintf("delta-%06d-%s.ckpt", d.Seq, hex.EncodeToString(sum[:])[:digestLen])
+	path := filepath.Join(s.dir, name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", fmt.Errorf("checkpoint: write delta: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return "", fmt.Errorf("checkpoint: commit delta: %w", err)
+	}
+	s.pruneLocked()
+	return path, nil
+}
+
+// pruneLocked bounds retention. The pruning unit is a chain — a base
+// snapshot plus the deltas hanging off it — because deleting a base out
+// from under its deltas would break reconstruction: everything strictly
+// older than the keep-th newest base is removed, deltas older than the
+// oldest base with it. Deltas never count against the retention budget.
+func (s *Store) pruneLocked() {
+	files := s.list()
+	var baseSeqs []int
+	for _, f := range files {
+		if !f.delta {
+			baseSeqs = append(baseSeqs, f.seq)
+		}
+	}
+	if len(baseSeqs) <= s.keep {
+		return
+	}
+	floor := baseSeqs[len(baseSeqs)-s.keep]
+	for _, f := range files {
+		if f.seq < floor {
+			_ = os.Remove(filepath.Join(s.dir, f.name))
+		}
+	}
 }
 
 // Load reads and verifies one snapshot file: the contents must hash to
@@ -175,19 +239,66 @@ func (s *Store) Load(path string) (*Snapshot, error) {
 	return &snap, nil
 }
 
-// Latest returns the newest valid snapshot, skipping over corrupt or
-// truncated files to the previous valid one — a crash mid-write (or
-// on-disk damage) costs one checkpoint interval, not the whole run. It
-// returns ErrNoSnapshot when nothing valid remains.
+// LoadDelta reads and verifies one delta file: contents must hash to the
+// digest in the name, parse, and carry the current format version.
+func (s *Store) LoadDelta(path string) (*Delta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	name := filepath.Base(path)
+	parts := strings.Split(strings.TrimSuffix(strings.TrimPrefix(name, "delta-"), ".ckpt"), "-")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("%w: unrecognised name %q", ErrCorrupt, name)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:])[:digestLen] != parts[1] {
+		return nil, fmt.Errorf("%w: %s: digest mismatch", ErrCorrupt, name)
+	}
+	var d Delta
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, name, err)
+	}
+	if d.Format != Format {
+		return nil, fmt.Errorf("%w: %s: format %d, want %d", ErrCorrupt, name, d.Format, Format)
+	}
+	return &d, nil
+}
+
+// Latest returns the newest reconstructible state: a forward pass over
+// the directory in sequence order, where every valid base snapshot
+// resets the reconstruction and every valid delta whose ParentSeq
+// matches the last-applied file extends it. Corruption degrades, never
+// fails outright: a corrupt delta freezes the chain at the longest valid
+// prefix (a later delta's ParentSeq cannot match, so the tail is
+// unreachable by construction); a corrupt base strands its own deltas
+// and falls back to the previous chain's reconstruction. A directory of
+// plain full snapshots behaves exactly as before deltas existed: each
+// valid snapshot replaces the candidate, so the newest valid one wins.
+// It returns ErrNoSnapshot when nothing valid remains.
 func (s *Store) Latest() (*Snapshot, error) {
 	files := s.list()
-	for i := len(files) - 1; i >= 0; i-- {
-		snap, err := s.Load(filepath.Join(s.dir, files[i].name))
-		if err == nil {
-			return snap, nil
+	var m *merger
+	for _, f := range files {
+		path := filepath.Join(s.dir, f.name)
+		if f.delta {
+			d, err := s.LoadDelta(path)
+			if err != nil || m == nil || d.ParentSeq != m.seq {
+				continue
+			}
+			m.apply(d)
+			continue
 		}
+		snap, err := s.Load(path)
+		if err != nil {
+			continue
+		}
+		m = newMerger(snap)
 	}
-	return nil, fmt.Errorf("%w: %s", ErrNoSnapshot, s.dir)
+	if m == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSnapshot, s.dir)
+	}
+	return m.snapshot(), nil
 }
 
 // Snapshots returns the paths of all snapshot files, sequence-ascending

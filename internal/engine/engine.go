@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/deps"
@@ -141,6 +142,7 @@ type Task struct {
 	dependents []int64
 	redeps     map[int64]struct{} // recovery waiters (lazily allocated)
 	completed  bool               // completed at least once
+	ckptDirty  bool               // in the engine's dirty set (delta checkpoints)
 	epoch      int                // placement counter
 	nodes      []string           // reserved node names while Running
 	started    time.Duration
@@ -292,18 +294,39 @@ type Engine struct {
 	mgr  *transfer.Manager // nil unless Registry and Net are both set
 	prio sched.Prioritizer // non-nil when the policy ranks ready tasks
 
+	// readyN is the queued-ready count. It is written only under mu but
+	// read lock-free by Schedule's empty fast path and ReadyCount, so a
+	// completion storm with nothing queued skips the lock entirely.
+	readyN atomic.Int64
+
 	mu    sync.Mutex
 	tasks map[int64]*Task
 	order []int64 // insertion order (deterministic iteration)
 	// The ready set is one FIFO per constraint signature: placeability
 	// depends only on the signature, so a scheduling wave touches each
 	// signature's head instead of rescanning every queued task.
-	ready    map[string]*bucket
-	sigs     []*bucket // sorted by signature (deterministic iteration)
-	readyN   int
-	wave     int                    // placement-wave counter (bucket blocking)
-	producer map[transfer.Key]int64 // which task writes each version
-	slow     map[string]float64     // per-node duration multipliers (fault injection)
+	ready map[string]*bucket
+	sigs  []*bucket // sorted by signature (deterministic iteration)
+	wave  int       // placement-wave counter (bucket blocking)
+	// cand is the live candidate view of the current wave: the unblocked,
+	// non-empty buckets the selection loop actually scans. It is rebuilt
+	// from sigs once per wave and compacted as buckets drain or block, so
+	// a placement inspects live candidates instead of rescanning every
+	// signature ever seen; pushReadyLocked re-admits a bucket that refills
+	// mid-wave (availability recomputes resubmit into the running wave).
+	cand       []*bucket
+	waveActive bool
+	producer   map[transfer.Key]int64 // which task writes each version
+	slow       map[string]float64     // per-node duration multipliers (fault injection)
+	// Dirty tracking for delta checkpoints: every task whose snapshot-
+	// relevant state (lifecycle state, epoch, completed flag) changed since
+	// the last delta capture, in first-change order (dedup lives in the
+	// task's ckptDirty flag — a map here would put a hash insert on every
+	// completion), plus the tasks added since then in registration order
+	// (a delta appends them to the base snapshot's task ordering on
+	// reconstruction).
+	dirtyIDs []int64
+	added    []int64
 	// Availability wait set: tasks parked on unavailable data versions
 	// (see availability.go), plus the scratch a placement attempt leaves
 	// for divertUnavailableLocked.
@@ -320,11 +343,14 @@ type Engine struct {
 }
 
 // bucket is one signature's ready FIFO. blocked marks the wave in which
-// the head failed to place, parking the whole bucket for that wave.
+// the head failed to place, parking the whole bucket for that wave; seen
+// marks the wave whose candidate view currently holds the bucket, so a
+// mid-wave refill re-admits it exactly once.
 type bucket struct {
 	sig     string
 	q       []int64
 	blocked int
+	seen    int
 }
 
 // New returns an engine over the given configuration. Pool, Policy,
@@ -377,11 +403,21 @@ func (e *Engine) Each(fn func(*Task)) {
 }
 
 // ReadyCount returns the number of queued ready tasks (the elasticity
-// managers' pending-load signal).
+// managers' pending-load signal). Lock-free: the count is maintained
+// atomically alongside the bucket state.
 func (e *Engine) ReadyCount() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.readyN
+	return int(e.readyN.Load())
+}
+
+// markDirtyLocked records that t's snapshot-relevant state changed since
+// the last delta capture. Cheap and idempotent; called on every lifecycle
+// transition, epoch bump and completion-flag change.
+func (e *Engine) markDirtyLocked(t *Task) {
+	if t.ckptDirty {
+		return
+	}
+	t.ckptDirty = true
+	e.dirtyIDs = append(e.dirtyIDs, t.ID)
 }
 
 // Stats returns activity counters.
@@ -424,6 +460,8 @@ func (e *Engine) AddBatch(ts []*Task, producers [][]deps.TaskID) bool {
 func (e *Engine) addLocked(t *Task, producers []deps.TaskID, holds int) bool {
 	t.sig = t.Constraints.Signature()
 	t.state = Pending
+	e.added = append(e.added, t.ID)
+	e.markDirtyLocked(t)
 	for _, d := range producers {
 		if p, ok := e.tasks[int64(d)]; ok && !p.completed {
 			p.dependents = append(p.dependents, t.ID)
@@ -465,8 +503,11 @@ func (e *Engine) ReleaseHold(id int64) bool {
 
 // pushReadyLocked inserts a ready task into its signature bucket, keeping
 // the bucket ordered by (priority desc, ID asc). Priority is evaluated
-// once, at push time (for prioritising policies).
+// once, at push time (for prioritising policies). The push marks the task
+// dirty (a Pending→Ready transition is snapshot-relevant) and, mid-wave,
+// re-admits a refilled bucket into the wave's candidate view.
 func (e *Engine) pushReadyLocked(t *Task) {
+	e.markDirtyLocked(t)
 	if e.prio != nil {
 		t.prio = e.prio.Priority(e.viewLocked(t), e.cfg.SchedContext)
 	}
@@ -479,13 +520,21 @@ func (e *Engine) pushReadyLocked(t *Task) {
 		copy(e.sigs[pos+1:], e.sigs[pos:])
 		e.sigs[pos] = b
 	}
+	if e.waveActive && b.seen != e.wave && b.blocked != e.wave {
+		// A bucket that drained (or never existed) earlier in this wave
+		// just refilled — availability recomputes resubmit producers into
+		// the running wave. Blocked buckets stay out: nothing unblocks a
+		// signature until the next wave.
+		b.seen = e.wave
+		e.cand = append(e.cand, b)
+	}
 	// Binary insert; the common case (ascending IDs, equal priority)
 	// appends at the end in O(1).
 	at := sort.Search(len(b.q), func(i int) bool { return headLess(t, e.tasks[b.q[i]]) })
 	b.q = append(b.q, 0)
 	copy(b.q[at+1:], b.q[at:])
 	b.q[at] = t.ID
-	e.readyN++
+	e.readyN.Add(1)
 }
 
 // headLess orders bucket heads: multi-node first, then higher priority,
@@ -518,8 +567,14 @@ func (e *Engine) viewLocked(t *Task) *sched.TaskView {
 
 // Schedule runs one placement wave: best queue head first, until every
 // signature is blocked or the buckets drain. Executor.Launch is invoked
-// after the engine lock is released, in placement order.
+// after the engine lock is released, in placement order. An empty ready
+// set returns without touching either lock — the common case on a
+// completion storm whose successors are not yet released, and the reason
+// a million-task drain does not serialise on wave setup.
 func (e *Engine) Schedule() {
+	if e.readyN.Load() == 0 {
+		return
+	}
 	e.launchMu.Lock()
 	e.mu.Lock()
 	e.launch = e.placeWaveLocked(e.launch[:0])
@@ -540,23 +595,45 @@ func (e *Engine) Schedule() {
 // data made reachable by ordinary staging releases deferred work without
 // waiting for a heal.
 func (e *Engine) placeWaveLocked(placed []Placement) []Placement {
-	if e.readyN == 0 {
+	if e.readyN.Load() == 0 {
 		return placed
 	}
+	e.waveActive = true
+	defer func() { e.waveActive = false }()
 	for {
 		e.wave++
+		// Build this wave's candidate view once: every non-empty bucket.
+		// The selection loop below scans and compacts this view instead of
+		// rescanning every signature ever registered per placement — on a
+		// graph that has accumulated thousands of signatures but has a
+		// handful live, that is the difference between O(placements ×
+		// live) and O(placements × everything).
+		e.cand = e.cand[:0]
+		for _, b := range e.sigs {
+			if len(b.q) > 0 {
+				b.seen = e.wave
+				e.cand = append(e.cand, b)
+			}
+		}
 		for {
 			var bestB *bucket
 			var best *Task
-			for _, b := range e.sigs {
-				if b.blocked == e.wave || len(b.q) == 0 {
+			live := e.cand[:0]
+			for _, b := range e.cand {
+				if b.blocked == e.wave {
+					continue // parked for the wave; drops out of the view
+				}
+				if len(b.q) == 0 {
+					b.seen = 0 // drained; a mid-wave refill re-admits it
 					continue
 				}
+				live = append(live, b)
 				t := e.tasks[b.q[0]]
 				if best == nil || headLess(t, best) {
 					bestB, best = b, t
 				}
 			}
+			e.cand = live
 			if best == nil {
 				break
 			}
@@ -565,20 +642,20 @@ func (e *Engine) placeWaveLocked(placed []Placement) []Placement {
 			case placeOK:
 				placed = append(placed, p)
 				bestB.q = bestB.q[1:]
-				e.readyN--
+				e.readyN.Add(-1)
 			case placeUnavailable:
 				// The head's inputs are unreachable: divert it into the
 				// availability wait set (which may resubmit producers into
 				// this very wave) and keep placing — unavailability is
 				// task-specific, so the bucket is not blocked.
 				bestB.q = bestB.q[1:]
-				e.readyN--
+				e.readyN.Add(-1)
 				e.divertUnavailableLocked(best)
 			default:
 				bestB.blocked = e.wave
 			}
 		}
-		if e.cfg.Steal.Mode != StealOff && e.readyN > 0 {
+		if e.cfg.Steal.Mode != StealOff && e.readyN.Load() > 0 {
 			placed = e.stealWaveLocked(placed)
 		}
 		if len(e.pendingWakes) == 0 {
@@ -628,7 +705,7 @@ func (e *Engine) stealWaveLocked(placed []Placement) []Placement {
 				continue
 			}
 			b.q = append(b.q[:i], b.q[i+1:]...)
-			e.readyN--
+			e.readyN.Add(-1)
 			e.stats.Steals++
 			if e.cfg.Tracer != nil {
 				e.cfg.Tracer.Record(trace.Event{
@@ -785,6 +862,7 @@ func (e *Engine) placeLocked(t *Task) (Placement, placeOutcome) {
 	t.state = Running
 	t.started = e.cfg.Clock.Now()
 	t.epoch++
+	e.markDirtyLocked(t)
 	t.nodes = make([]string, len(group))
 	slow := 1.0
 	for i, n := range group {
@@ -884,6 +962,7 @@ func (e *Engine) completeLocked(id int64, epoch int, failed bool) (Completion, b
 	t.completed = true
 	t.state = Done
 	t.nodes = nil
+	e.markDirtyLocked(t)
 
 	// Batched dependency release: every successor is decremented under
 	// this single lock acquisition. The edge list is consumed — releases
@@ -957,6 +1036,7 @@ func (e *Engine) KillRunningOn(name string) []*Task {
 		t.state = Pending
 		t.waitCount = 0
 		t.epoch++ // invalidate the in-flight completion event
+		e.markDirtyLocked(t)
 		killed = append(killed, t)
 	}
 	return killed
@@ -981,7 +1061,8 @@ func (e *Engine) DropReadyMissingInputs() []*Task {
 			if e.missingProducerLocked(t) {
 				t.state = Pending
 				t.waitCount = 0
-				e.readyN--
+				e.readyN.Add(-1)
+				e.markDirtyLocked(t)
 				dropped = append(dropped, t)
 				continue
 			}
@@ -1036,9 +1117,11 @@ func (e *Engine) resubmitLocked(id int64) {
 		e.unparkLocked(t)
 		t.state = Pending
 		t.waitCount = 0
+		e.markDirtyLocked(t)
 	case Done:
 		t.state = Pending
 		t.waitCount = 0
+		e.markDirtyLocked(t)
 	}
 	waits := 0
 	for _, k := range t.InputKeys {

@@ -56,8 +56,9 @@ func loadAll(t *testing.T, store *checkpoint.Store) []*checkpoint.Snapshot {
 }
 
 // ckptSweepSim runs a conformance case on the simulator with an every-N
-// checkpoint policy and returns the persisted snapshots.
-func ckptSweepSim(t *testing.T, c workloads.ConformanceCase, everyN int, steal engine.StealConfig) []*checkpoint.Snapshot {
+// checkpoint policy and returns the store (delta mode persists a chain,
+// not a flat snapshot list; use Latest or loadAll as fits the mode).
+func ckptSweepSim(t *testing.T, c workloads.ConformanceCase, everyN int, steal engine.StealConfig, delta bool) *checkpoint.Store {
 	t.Helper()
 	store, err := checkpoint.NewStore(t.TempDir(), checkpoint.Keep(1000))
 	if err != nil {
@@ -76,7 +77,7 @@ func ckptSweepSim(t *testing.T, c workloads.ConformanceCase, everyN int, steal e
 		Policy:     sched.FIFO{},
 		StageIn:    c.StageIn,
 		Steal:      steal,
-		Checkpoint: &checkpoint.Config{Store: store, Policy: checkpoint.EveryN(everyN)},
+		Checkpoint: &checkpoint.Config{Store: store, Policy: checkpoint.EveryN(everyN), Delta: delta, CompactEvery: 3},
 	}, specs)
 	if err != nil {
 		t.Fatal(err)
@@ -84,13 +85,13 @@ func ckptSweepSim(t *testing.T, c workloads.ConformanceCase, everyN int, steal e
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
-	return loadAll(t, store)
+	return store
 }
 
 // ckptSweepLive bridges the same case onto the live runtime (gate task
 // holding the single core until the whole workflow is queued) with the
 // identical checkpoint policy.
-func ckptSweepLive(t *testing.T, c workloads.ConformanceCase, everyN int, steal engine.StealConfig) []*checkpoint.Snapshot {
+func ckptSweepLive(t *testing.T, c workloads.ConformanceCase, everyN int, steal engine.StealConfig, delta bool) *checkpoint.Store {
 	t.Helper()
 	store, err := checkpoint.NewStore(t.TempDir(), checkpoint.Keep(1000))
 	if err != nil {
@@ -104,7 +105,7 @@ func ckptSweepLive(t *testing.T, c workloads.ConformanceCase, everyN int, steal 
 		Locations:  transfer.NewRegistry(),
 		Net:        simnet.New(simnet.Link{BandwidthMBps: 1000}),
 		Steal:      steal,
-		Checkpoint: &checkpoint.Config{Store: store, Policy: checkpoint.EveryN(everyN)},
+		Checkpoint: &checkpoint.Config{Store: store, Policy: checkpoint.EveryN(everyN), Delta: delta, CompactEvery: 3},
 	})
 	defer rt.Shutdown()
 
@@ -180,7 +181,7 @@ func ckptSweepLive(t *testing.T, c workloads.ConformanceCase, everyN int, steal 
 	}
 	close(release)
 	rt.Barrier()
-	return loadAll(t, store)
+	return store
 }
 
 // TestCheckpointParitySweep: full structural snapshot equivalence —
@@ -193,8 +194,8 @@ func TestCheckpointParitySweep(t *testing.T) {
 	for _, c := range workloads.ConformanceSuite() {
 		c := c
 		t.Run(c.Name, func(t *testing.T) {
-			simSnaps := ckptSweepSim(t, c, 2, steal)
-			liveSnaps := ckptSweepLive(t, c, 2, steal)
+			simSnaps := loadAll(t, ckptSweepSim(t, c, 2, steal, false))
+			liveSnaps := loadAll(t, ckptSweepLive(t, c, 2, steal, false))
 			if len(simSnaps) == 0 {
 				t.Fatal("simulator persisted no snapshots")
 			}

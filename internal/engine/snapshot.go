@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/transfer"
@@ -58,6 +59,78 @@ func (e *Engine) SnapshotTasks() []TaskSnap {
 	return out
 }
 
+// snapLocked builds one task's checkpoint record.
+func snapLocked(t *Task) TaskSnap {
+	s := TaskSnap{
+		ID: t.ID, Class: t.Class, State: t.state,
+		Epoch: t.epoch, Completed: t.completed,
+	}
+	if len(t.OutputKeys) > 0 {
+		s.OutputKeys = append([]transfer.Key(nil), t.OutputKeys...)
+	}
+	return s
+}
+
+// SnapshotTasksClean is SnapshotTasks plus a dirty-set reset: the capture
+// that starts a fresh delta chain. A full snapshot subsumes every pending
+// change, so the per-task dirty set and the added-task log restart empty.
+// Plain SnapshotTasks stays side-effect-free — parity probes and tests can
+// capture at will without perturbing the delta chain.
+func (e *Engine) SnapshotTasksClean() []TaskSnap {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]TaskSnap, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, snapLocked(e.tasks[id]))
+	}
+	e.resetDirtyLocked()
+	return out
+}
+
+// DirtyCount returns how many tasks changed snapshot-relevant state since
+// the last TakeDirty / SnapshotTasksClean — the signal an interval
+// checkpointer uses to skip captures on an idle graph.
+func (e *Engine) DirtyCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.dirtyIDs)
+}
+
+// TakeDirty drains the delta since the last capture: the checkpoint
+// records of every task whose state changed (sorted by ID — records are
+// absolute state replacements, so order carries no meaning and sorting
+// keeps the serialised bytes deterministic) and the IDs of tasks added
+// since then, in registration order (a delta appends them to the base
+// snapshot's task ordering). Both sets are cleared atomically with the
+// read, under the same lock mutations take, so a change lands either in
+// this delta or in the next one — never in neither.
+func (e *Engine) TakeDirty() (snaps []TaskSnap, added []int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.dirtyIDs) == 0 && len(e.added) == 0 {
+		return nil, nil
+	}
+	ids := append([]int64(nil), e.dirtyIDs...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	snaps = make([]TaskSnap, 0, len(ids))
+	for _, id := range ids {
+		snaps = append(snaps, snapLocked(e.tasks[id]))
+	}
+	if len(e.added) > 0 {
+		added = append([]int64(nil), e.added...)
+	}
+	e.resetDirtyLocked()
+	return snaps, added
+}
+
+func (e *Engine) resetDirtyLocked() {
+	for _, id := range e.dirtyIDs {
+		e.tasks[id].ckptDirty = false
+	}
+	e.dirtyIDs = e.dirtyIDs[:0]
+	e.added = e.added[:0]
+}
+
 // Now returns the engine clock's current offset from the run's epoch —
 // the timestamp a checkpoint snapshot carries.
 func (e *Engine) Now() time.Duration { return e.cfg.Clock.Now() }
@@ -88,7 +161,7 @@ func (e *Engine) RestoreCompleted(id int64, epoch int) bool {
 				break
 			}
 		}
-		e.readyN--
+		e.readyN.Add(-1)
 	}
 	if t.state == Parked {
 		e.unparkLocked(t) // a restored completion needs no inputs at all
@@ -98,6 +171,7 @@ func (e *Engine) RestoreCompleted(id int64, epoch int) bool {
 	}
 	t.state = Done
 	t.completed = true
+	e.markDirtyLocked(t)
 	e.stats.Restored++
 	for _, dep := range t.dependents {
 		dt := e.tasks[dep]

@@ -466,6 +466,23 @@ func (s *Sim) CheckpointSnapshot() *checkpoint.Snapshot {
 	return checkpoint.Capture(s.eng, s.reg)
 }
 
+// CheckpointBase implements checkpoint.DeltaSource: a full capture that
+// resets the dirty sets, starting (or compacting) a delta chain.
+func (s *Sim) CheckpointBase() *checkpoint.Snapshot {
+	return checkpoint.CaptureBase(s.eng, s.reg)
+}
+
+// CheckpointDelta implements checkpoint.DeltaSource: the changes since
+// the last base or delta capture.
+func (s *Sim) CheckpointDelta() *checkpoint.Delta {
+	return checkpoint.CaptureDelta(s.eng, s.reg)
+}
+
+// CheckpointDirty implements checkpoint.DeltaSource.
+func (s *Sim) CheckpointDirty() int {
+	return s.eng.DirtyCount() + s.reg.DirtyCount()
+}
+
 // Checkpoint takes an on-demand snapshot (requires Config.Checkpoint).
 func (s *Sim) Checkpoint() error {
 	if s.ckpt == nil {

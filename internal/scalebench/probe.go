@@ -1,0 +1,154 @@
+// Concurrent lock-contention probe. The scale harness's event loop is
+// single-threaded (virtual time), so it cannot see what the live
+// backend's completion storms see: many goroutines hitting the replica
+// registry and the dependency processor at once. This probe measures
+// that directly — a fixed op mix over both structures from GOMAXPROCS
+// goroutines, with the runtime mutex profiler on — and reports the total
+// mutex wait (runtime/metrics /sync/mutex/wait/total:seconds) plus the
+// top contended call sites. With hash-sharded stripes the wait should
+// stay near zero; a regression here is a stripe lock degenerating back
+// into a global one.
+package scalebench
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sort"
+	"sync"
+
+	"repro/internal/deps"
+	"repro/internal/transfer"
+)
+
+// MutexSite is one contended lock site from the runtime mutex profile.
+type MutexSite struct {
+	// Site is the function holding the lock when waiters piled up.
+	Site string `json:"site"`
+	// Fraction is this site's share of the profile's total wait cycles.
+	Fraction float64 `json:"fraction"`
+}
+
+// MutexReport is the contention probe's result.
+type MutexReport struct {
+	// Goroutines is the worker count (GOMAXPROCS unless overridden).
+	Goroutines int `json:"goroutines"`
+	// Ops is the total operation count across all workers.
+	Ops int `json:"ops"`
+	// WaitSeconds is the increase in total mutex wait time across the
+	// probe (sum over all goroutines).
+	WaitSeconds float64 `json:"wait_seconds"`
+	// WaitPerOpNS normalises that to nanoseconds of lock wait per op.
+	WaitPerOpNS float64 `json:"wait_per_op_ns"`
+	// TopSites lists the most contended lock sites, largest first.
+	TopSites []MutexSite `json:"top_sites,omitempty"`
+}
+
+func mutexWaitSeconds() float64 {
+	sample := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	return sample[0].Value.Float64()
+}
+
+// RunMutexProbe hammers a fresh sharded registry and dependency
+// processor with opsPerG mixed operations from each of g goroutines
+// (g ≤ 0 ⇒ 4×GOMAXPROCS, minimum 4, so lock handoff is exercised even
+// on a single-core host) and reports the mutex wait it provoked. The op
+// mix mirrors a completion storm: replica adds and lookups against a
+// shared key space, size queries, and dependency registrations.
+func RunMutexProbe(g, opsPerG int) *MutexReport {
+	if g <= 0 {
+		g = 4 * runtime.GOMAXPROCS(0)
+		if g < 4 {
+			g = 4
+		}
+	}
+	reg := transfer.NewRegistry()
+	proc := deps.NewProcessor()
+
+	prev := runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(prev)
+	before := mutexWaitSeconds()
+
+	const keySpace = 1 << 14
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			nodes := [4]string{"n0", "n1", "n2", "n3"}
+			base := deps.TaskID(w * opsPerG)
+			for i := 0; i < opsPerG; i++ {
+				k := transfer.Key{Data: deps.DataID((w*31 + i) % keySpace), Ver: 1}
+				switch i % 4 {
+				case 0:
+					reg.AddReplica(k, nodes[i%len(nodes)])
+				case 1:
+					reg.Where(k)
+				case 2:
+					reg.SetSize(k, int64(i))
+				case 3:
+					proc.Register(base+deps.TaskID(i), []deps.Access{
+						{Data: deps.DataID((w + i) % keySpace), Dir: deps.InOut},
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := &MutexReport{
+		Goroutines:  g,
+		Ops:         g * opsPerG,
+		WaitSeconds: mutexWaitSeconds() - before,
+	}
+	if rep.WaitSeconds < 0 {
+		rep.WaitSeconds = 0
+	}
+	if rep.Ops > 0 {
+		rep.WaitPerOpNS = rep.WaitSeconds * 1e9 / float64(rep.Ops)
+	}
+	rep.TopSites = topMutexSites(3)
+	return rep
+}
+
+// topMutexSites reads the runtime mutex profile and returns the n
+// largest sites by accumulated wait cycles.
+func topMutexSites(n int) []MutexSite {
+	var records []runtime.BlockProfileRecord
+	size, _ := runtime.MutexProfile(nil)
+	if size == 0 {
+		return nil
+	}
+	records = make([]runtime.BlockProfileRecord, size+size/4+8)
+	size, ok := runtime.MutexProfile(records)
+	if !ok || size == 0 {
+		return nil
+	}
+	records = records[:size]
+	sort.Slice(records, func(i, j int) bool { return records[i].Cycles > records[j].Cycles })
+	var total int64
+	for _, r := range records {
+		total += r.Cycles
+	}
+	if total == 0 {
+		return nil
+	}
+	var out []MutexSite
+	for _, r := range records {
+		if len(out) == n {
+			break
+		}
+		site := "unknown"
+		for _, pc := range r.Stack() {
+			if fn := runtime.FuncForPC(pc); fn != nil {
+				site = fn.Name()
+				break
+			}
+		}
+		out = append(out, MutexSite{Site: site, Fraction: float64(r.Cycles) / float64(total)})
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+// Report schema for BENCH_scale.json. Everything here is plain data:
+// the harness fills it, cmd/flowgo-sim marshals it, and the CI scale
+// smoke diffs selected fields against a committed baseline. Field names
+// are part of that contract — rename with the same care as an on-disk
+// format.
+package scalebench
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"time"
+)
+
+// Quantiles summarises a latency sample set. Units are carried by the
+// field name at the use site (microseconds for wave latency,
+// milliseconds for capture cost).
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// ConfigOut is the run configuration echoed into the report.
+type ConfigOut struct {
+	Tasks           int     `json:"tasks"`
+	Nodes           int     `json:"nodes"`
+	Width           int     `json:"width"`
+	TaskDurationSec float64 `json:"task_duration_seconds"`
+	IntervalSec     float64 `json:"checkpoint_interval_seconds"`
+	Delta           bool    `json:"delta"`
+	CompactEvery    int     `json:"compact_every"`
+	Persisted       bool    `json:"persisted"`
+	Seed            int64   `json:"seed"`
+}
+
+// RunReport is the scheduling-throughput half of the result.
+type RunReport struct {
+	// TasksCompleted is the number of completions the run drained.
+	TasksCompleted int `json:"tasks_completed"`
+	// SimMakespanSec is the virtual time the campaign took.
+	SimMakespanSec float64 `json:"sim_makespan_seconds"`
+	// BuildWallSec is the wall time spent registering the DAG.
+	BuildWallSec float64 `json:"build_wall_seconds"`
+	// RunWallSec is the wall time of the event loop, captures included.
+	RunWallSec float64 `json:"run_wall_seconds"`
+	// CaptureWallSec is the wall time spent inside checkpoint captures,
+	// comparison captures included.
+	CaptureWallSec float64 `json:"capture_wall_seconds"`
+	// MeasureWallSec is the slice of CaptureWallSec spent on
+	// comparison-only captures (each interval captures the same state both
+	// fully and as a delta so the report can price them against each
+	// other; only one of the two is a cost the configured cadence pays).
+	MeasureWallSec float64 `json:"measure_wall_seconds"`
+	// SaveWallSec is the wall time spent persisting checkpoints to disk.
+	SaveWallSec float64 `json:"save_wall_seconds"`
+	// TasksPerSec is scheduling throughput with capture and save time
+	// excluded: completions per second of pure engine work.
+	TasksPerSec float64 `json:"tasks_per_second"`
+	// EffectiveTasksPerSec includes real checkpointing cost: completions
+	// per second of loop wall time minus only the comparison overhead.
+	EffectiveTasksPerSec float64 `json:"effective_tasks_per_second"`
+	// Steals and Transfers echo the engine's activity counters.
+	Steals    int `json:"steals"`
+	Transfers int `json:"transfers"`
+}
+
+// CkptReport is the checkpoint-cost half of the result.
+type CkptReport struct {
+	// Captures counts intervals that found dirty state; Skipped counts
+	// intervals the dirty-set check elided entirely.
+	Captures int `json:"captures"`
+	Skipped  int `json:"skipped"`
+	// Bases and Deltas count files persisted (zero when not persisting).
+	Bases  int `json:"bases"`
+	Deltas int `json:"deltas"`
+	// FullCaptureMS and DeltaCaptureMS are per-interval capture costs of
+	// the SAME engine state, captured back to back.
+	FullCaptureMS  Quantiles `json:"full_capture_ms"`
+	DeltaCaptureMS Quantiles `json:"delta_capture_ms"`
+	// FullOverDeltaP50 is the median of the per-interval full/delta cost
+	// ratios — the factor the delta subsystem saves per capture.
+	FullOverDeltaP50 float64 `json:"full_over_delta_p50"`
+	// DirtyPerCaptureP50 is the median dirty-record count per capture —
+	// how "mostly clean" the graph actually was between intervals.
+	DirtyPerCaptureP50 float64 `json:"dirty_per_capture_p50"`
+	// DiskBytes is the checkpoint directory size after retention.
+	DiskBytes int64 `json:"disk_bytes,omitempty"`
+}
+
+// RestoreReport verifies and times end-state reconstruction.
+type RestoreReport struct {
+	// LatestMS is the Store.Latest wall time (base load + chain replay).
+	LatestMS float64 `json:"latest_ms"`
+	// Completed is the completed-task count the reconstruction shows.
+	Completed int `json:"completed"`
+	// OK reports whether that matches the run's task count.
+	OK bool `json:"ok"`
+}
+
+// Report is the full BENCH_scale.json document.
+type Report struct {
+	Schema        int            `json:"schema"`
+	Config        ConfigOut      `json:"config"`
+	Run           RunReport      `json:"run"`
+	WaveLatencyUS Quantiles      `json:"wave_latency_us"`
+	Checkpoint    CkptReport     `json:"checkpoint"`
+	Restore       *RestoreReport `json:"restore,omitempty"`
+	Contention    *MutexReport   `json:"mutex_contention,omitempty"`
+}
+
+// Schema is the report format version.
+const Schema = 1
+
+func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func quantiles(samples []float64) Quantiles {
+	if len(samples) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return Quantiles{P50: at(0.50), P99: at(0.99), Max: s[len(s)-1]}
+}
+
+// newReport assembles the report from a drained harness.
+func newReport(cfg Config, h *harness, buildWall, runWall time.Duration) *Report {
+	stats := h.eng.Stats()
+	rep := &Report{
+		Schema: Schema,
+		Config: ConfigOut{
+			Tasks: cfg.Tasks, Nodes: cfg.Nodes, Width: cfg.Width,
+			TaskDurationSec: cfg.TaskDuration.Seconds(),
+			IntervalSec:     cfg.Interval.Seconds(),
+			Delta:           cfg.Delta,
+			CompactEvery:    h.compact,
+			Persisted:       h.store != nil,
+			Seed:            cfg.Seed,
+		},
+		Run: RunReport{
+			TasksCompleted: h.completed,
+			SimMakespanSec: h.clock.Now().Seconds(),
+			BuildWallSec:   buildWall.Seconds(),
+			RunWallSec:     runWall.Seconds(),
+			CaptureWallSec: h.captureWall.Seconds(),
+			MeasureWallSec: h.measureWall.Seconds(),
+			SaveWallSec:    h.saveWall.Seconds(),
+			Steals:         stats.Steals,
+			Transfers:      stats.Transfers,
+		},
+	}
+	engineWall := runWall - h.captureWall - h.saveWall
+	if engineWall > 0 {
+		rep.Run.TasksPerSec = float64(h.completed) / engineWall.Seconds()
+	}
+	if effectiveWall := runWall - h.measureWall; effectiveWall > 0 {
+		rep.Run.EffectiveTasksPerSec = float64(h.completed) / effectiveWall.Seconds()
+	}
+
+	waveUS := make([]float64, len(h.waveNS))
+	for i, ns := range h.waveNS {
+		waveUS[i] = float64(ns) / 1e3
+	}
+	rep.WaveLatencyUS = quantiles(waveUS)
+
+	rep.Checkpoint = CkptReport{Captures: len(h.captures), Skipped: h.skipped}
+	if len(h.captures) > 0 {
+		fullMS := make([]float64, len(h.captures))
+		deltaMS := make([]float64, len(h.captures))
+		ratios := make([]float64, 0, len(h.captures))
+		dirty := make([]float64, len(h.captures))
+		for i, c := range h.captures {
+			fullMS[i] = msf(c.full)
+			deltaMS[i] = msf(c.delta)
+			dirty[i] = float64(c.dirty)
+			if c.delta > 0 {
+				ratios = append(ratios, float64(c.full)/float64(c.delta))
+			}
+		}
+		rep.Checkpoint.FullCaptureMS = quantiles(fullMS)
+		rep.Checkpoint.DeltaCaptureMS = quantiles(deltaMS)
+		rep.Checkpoint.FullOverDeltaP50 = quantiles(ratios).P50
+		rep.Checkpoint.DirtyPerCaptureP50 = quantiles(dirty).P50
+	}
+	return rep
+}
+
+// WriteJSON marshals the report (indented, trailing newline) to path.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

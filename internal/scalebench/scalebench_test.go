@@ -1,0 +1,157 @@
+package scalebench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// small returns a configuration sized for the ordinary test suite:
+// the full pipeline (build, drain, interval captures, delta chain,
+// persisted store, Latest verification) in well under a second.
+func small(t *testing.T) Config {
+	cfg := Default()
+	cfg.Tasks = 2000
+	cfg.Nodes = 20
+	cfg.Width = 100
+	cfg.Interval = 2 * time.Minute
+	cfg.Dir = t.TempDir()
+	cfg.MutexProbe = false
+	return cfg
+}
+
+func TestRunSmall(t *testing.T) {
+	rep, err := Run(small(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Run.TasksCompleted != 2000 {
+		t.Fatalf("completed %d, want 2000", rep.Run.TasksCompleted)
+	}
+	if rep.Checkpoint.Captures == 0 {
+		t.Fatal("no interval captures fired")
+	}
+	if rep.Checkpoint.Bases == 0 || rep.Checkpoint.Deltas == 0 {
+		t.Fatalf("delta mode persisted %d bases + %d deltas; want both ≥ 1",
+			rep.Checkpoint.Bases, rep.Checkpoint.Deltas)
+	}
+	if rep.Restore == nil || !rep.Restore.OK {
+		t.Fatalf("restore verification failed: %+v", rep.Restore)
+	}
+	if rep.Checkpoint.FullOverDeltaP50 <= 1 {
+		t.Fatalf("delta capture not cheaper than full: ratio %.2f",
+			rep.Checkpoint.FullOverDeltaP50)
+	}
+	if rep.Run.SimMakespanSec <= 0 || rep.Run.TasksPerSec <= 0 {
+		t.Fatalf("degenerate run report: %+v", rep.Run)
+	}
+}
+
+// TestRunFullMode covers the non-delta persistence path: every interval
+// with dirty state saves a full snapshot, no delta files appear, and
+// reconstruction still verifies.
+func TestRunFullMode(t *testing.T) {
+	cfg := small(t)
+	cfg.Delta = false
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checkpoint.Deltas != 0 {
+		t.Fatalf("full mode wrote %d delta files", rep.Checkpoint.Deltas)
+	}
+	if rep.Checkpoint.Bases == 0 {
+		t.Fatal("full mode persisted nothing")
+	}
+	if rep.Restore == nil || !rep.Restore.OK {
+		t.Fatalf("restore verification failed: %+v", rep.Restore)
+	}
+}
+
+// smokeBaseline mirrors the fields the scale smoke diffs. It reads the
+// committed testdata baseline, which is a full Report written by a past
+// smoke run (regenerate with SCALE_SMOKE_UPDATE=1).
+const smokeBaselinePath = "testdata/scale_smoke_baseline.json"
+
+// TestScaleSmoke is the nightly-style scale gate: a 100k-task run with
+// interval delta checkpointing, diffed against the committed baseline.
+// It fails on a >20% scheduling-throughput regression or on any broken
+// run invariant (shortfall, failed restore, delta not ≥10× cheaper than
+// full capture). Opt in with SCALE_SMOKE=1 — it needs tens of seconds
+// and steady hardware, so it is not part of the default suite.
+func TestScaleSmoke(t *testing.T) {
+	if os.Getenv("SCALE_SMOKE") == "" {
+		t.Skip("set SCALE_SMOKE=1 to run the 100k-task scale smoke")
+	}
+	cfg := Default()
+	cfg.Tasks = 100_000
+	cfg.Nodes = 200
+	cfg.Width = 1000
+	// ~48 intervals over the ~4400s virtual makespan: enough captures for
+	// stable quantiles, dirty fraction per capture well under 10%.
+	cfg.Interval = 90 * time.Second
+	cfg.Dir = t.TempDir()
+	cfg.MutexProbe = false
+	cfg.Progress = func(s string) { t.Log(s) }
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Run.TasksCompleted != cfg.Tasks {
+		t.Fatalf("completed %d of %d", rep.Run.TasksCompleted, cfg.Tasks)
+	}
+	if rep.Restore == nil || !rep.Restore.OK {
+		t.Fatalf("restore verification failed: %+v", rep.Restore)
+	}
+	if rep.Checkpoint.FullOverDeltaP50 < 10 {
+		t.Fatalf("delta capture only %.1f× cheaper than full; want ≥10×",
+			rep.Checkpoint.FullOverDeltaP50)
+	}
+
+	if os.Getenv("SCALE_SMOKE_UPDATE") != "" {
+		if err := os.MkdirAll(filepath.Dir(smokeBaselinePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(smokeBaselinePath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline updated: %.0f tasks/s", rep.Run.TasksPerSec)
+		return
+	}
+
+	data, err := os.ReadFile(smokeBaselinePath)
+	if err != nil {
+		t.Fatalf("no committed baseline (run with SCALE_SMOKE_UPDATE=1 to record): %v", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("baseline unreadable: %v", err)
+	}
+	if base.Config.Tasks != cfg.Tasks || base.Config.Nodes != cfg.Nodes {
+		t.Fatalf("baseline shape %d tasks / %d nodes does not match smoke config %d / %d — re-record it",
+			base.Config.Tasks, base.Config.Nodes, cfg.Tasks, cfg.Nodes)
+	}
+	floor := 0.8 * base.Run.TasksPerSec
+	if rep.Run.TasksPerSec < floor {
+		t.Fatalf("scheduling throughput regressed >20%%: %.0f tasks/s vs baseline %.0f (floor %.0f)",
+			rep.Run.TasksPerSec, base.Run.TasksPerSec, floor)
+	}
+	t.Logf("throughput %.0f tasks/s (baseline %.0f, floor %.0f); delta %.0f× cheaper; restore %.0fms",
+		rep.Run.TasksPerSec, base.Run.TasksPerSec, floor,
+		rep.Checkpoint.FullOverDeltaP50, rep.Restore.LatestMS)
+}
+
+// TestMutexProbe keeps the contention probe compiled and honest: the op
+// mix must run to completion and report non-negative wait.
+func TestMutexProbe(t *testing.T) {
+	rep := RunMutexProbe(4, 2000)
+	if rep.Goroutines != 4 || rep.Ops != 8000 {
+		t.Fatalf("probe shape: %+v", rep)
+	}
+	if rep.WaitSeconds < 0 || rep.WaitPerOpNS < 0 {
+		t.Fatalf("negative wait: %+v", rep)
+	}
+}

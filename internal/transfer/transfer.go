@@ -3,6 +3,15 @@
 // paper's "view that a single shared memory space is available … taking
 // care of all the necessary data-transfers between the nodes" (Sec. II-A),
 // and it is the information source for locality-aware scheduling (E4).
+//
+// The registry is hash-sharded: keys are distributed over fixed stripes,
+// each with its own lock, so concurrent placements (PlanFetch), completions
+// (AddReplica) and locality scoring (LocalBytes) on different data contend
+// on different stripes instead of one global RWMutex — the registry was one
+// of the three global locks profiled at million-task scale. Each stripe
+// additionally tracks the keys whose entry changed since the last
+// checkpoint capture, which is what makes delta snapshots O(changes):
+// TakeDirty drains exactly the changed catalog rows.
 package transfer
 
 import (
@@ -23,56 +32,95 @@ type Key struct {
 // KeyOf converts a deps.Version into a Key.
 func KeyOf(v deps.Version) Key { return Key{Data: v.Data, Ver: v.Ver} }
 
+// keyLess orders keys by (Data, Ver) — the canonical catalog order.
+func keyLess(a, b Key) bool {
+	if a.Data != b.Data {
+		return a.Data < b.Data
+	}
+	return a.Ver < b.Ver
+}
+
+// regShards is the stripe count. A small power of two keeps the modulo a
+// mask while spreading a 1k-node pool's concurrent completions thin.
+const regShards = 32
+
+// regShard is one stripe of the registry: its own lock, its slice of the
+// location and size maps, and the dirty set feeding delta checkpoints.
+type regShard struct {
+	mu    sync.RWMutex
+	loc   map[Key]map[string]struct{}
+	size  map[Key]int64
+	dirty map[Key]struct{}
+}
+
 // Registry records replica locations and sizes for data versions. It is
-// safe for concurrent use.
+// safe for concurrent use; state is hash-sharded by key.
 type Registry struct {
-	mu   sync.RWMutex
-	loc  map[Key]map[string]struct{}
-	size map[Key]int64
+	shards [regShards]regShard
 }
 
 // NewRegistry returns an empty location registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		loc:  make(map[Key]map[string]struct{}),
-		size: make(map[Key]int64),
+	r := &Registry{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.loc = make(map[Key]map[string]struct{})
+		s.size = make(map[Key]int64)
+		s.dirty = make(map[Key]struct{})
 	}
+	return r
+}
+
+// shard returns the stripe holding k.
+func (r *Registry) shard(k Key) *regShard {
+	h := uint64(k.Data)*0x9E3779B97F4A7C15 + uint64(uint32(k.Ver))*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return &r.shards[h%regShards]
 }
 
 // SetSize records the size in bytes of a data version.
 func (r *Registry) SetSize(k Key, bytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.size[k] = bytes
+	s := r.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.size[k] = bytes
+	s.dirty[k] = struct{}{}
 }
 
 // Size returns the recorded size of a data version (0 if unknown).
 func (r *Registry) Size(k Key) int64 {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.size[k]
+	s := r.shard(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size[k]
 }
 
 // AddReplica records that node holds a copy of k.
 func (r *Registry) AddReplica(k Key, node string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	set, ok := r.loc[k]
+	s := r.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set, ok := s.loc[k]
 	if !ok {
 		set = make(map[string]struct{})
-		r.loc[k] = set
+		s.loc[k] = set
 	}
 	set[node] = struct{}{}
+	s.dirty[k] = struct{}{}
 }
 
 // RemoveReplica forgets node's copy of k.
 func (r *Registry) RemoveReplica(k Key, node string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if set, ok := r.loc[k]; ok {
-		delete(set, node)
-		if len(set) == 0 {
-			delete(r.loc, k)
+	s := r.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if set, ok := s.loc[k]; ok {
+		if _, held := set[node]; held {
+			delete(set, node)
+			if len(set) == 0 {
+				delete(s.loc, k)
+			}
+			s.dirty[k] = struct{}{}
 		}
 	}
 }
@@ -81,33 +129,33 @@ func (r *Registry) RemoveReplica(k Key, node string) {
 // the keys that lost their last replica — the data that must be recovered
 // by re-execution (E7).
 func (r *Registry) DropNode(node string) []Key {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var lost []Key
-	for k, set := range r.loc {
-		if _, ok := set[node]; !ok {
-			continue
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for k, set := range s.loc {
+			if _, ok := set[node]; !ok {
+				continue
+			}
+			delete(set, node)
+			s.dirty[k] = struct{}{}
+			if len(set) == 0 {
+				delete(s.loc, k)
+				lost = append(lost, k)
+			}
 		}
-		delete(set, node)
-		if len(set) == 0 {
-			delete(r.loc, k)
-			lost = append(lost, k)
-		}
+		s.mu.Unlock()
 	}
-	sort.Slice(lost, func(i, j int) bool {
-		if lost[i].Data != lost[j].Data {
-			return lost[i].Data < lost[j].Data
-		}
-		return lost[i].Ver < lost[j].Ver
-	})
+	sort.Slice(lost, func(i, j int) bool { return keyLess(lost[i], lost[j]) })
 	return lost
 }
 
 // Where returns the nodes holding a replica of k, sorted.
 func (r *Registry) Where(k Key) []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	set, ok := r.loc[k]
+	s := r.shard(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set, ok := s.loc[k]
 	if !ok {
 		return nil
 	}
@@ -121,9 +169,10 @@ func (r *Registry) Where(k Key) []string {
 
 // HasReplica reports whether node holds a copy of k.
 func (r *Registry) HasReplica(k Key, node string) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	_, ok := r.loc[k][node]
+	s := r.shard(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.loc[k][node]
 	return ok
 }
 
@@ -132,26 +181,28 @@ func (r *Registry) HasReplica(k Key, node string) bool {
 // getLocations method "will enable the runtime to exploit the locality of
 // the data by scheduling tasks in the location where the data resides").
 func (r *Registry) LocalBytes(node string, keys []Key) int64 {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	var total int64
 	for _, k := range keys {
-		if _, ok := r.loc[k][node]; ok {
-			total += r.size[k]
+		s := r.shard(k)
+		s.mu.RLock()
+		if _, ok := s.loc[k][node]; ok {
+			total += s.size[k]
 		}
+		s.mu.RUnlock()
 	}
 	return total
 }
 
 // MissingBytes sums the sizes of the given keys NOT present on node.
 func (r *Registry) MissingBytes(node string, keys []Key) int64 {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	var total int64
 	for _, k := range keys {
-		if _, ok := r.loc[k][node]; !ok {
-			total += r.size[k]
+		s := r.shard(k)
+		s.mu.RLock()
+		if _, ok := s.loc[k][node]; !ok {
+			total += s.size[k]
 		}
+		s.mu.RUnlock()
 	}
 	return total
 }
@@ -164,42 +215,95 @@ type Entry struct {
 	Locations []string
 }
 
+// entryLocked builds the catalog row for k from a stripe the caller holds.
+func (s *regShard) entryLocked(k Key) Entry {
+	e := Entry{Key: k, Size: s.size[k]}
+	if set, ok := s.loc[k]; ok {
+		e.Locations = make([]string, 0, len(set))
+		for n := range set {
+			e.Locations = append(e.Locations, n)
+		}
+		sort.Strings(e.Locations)
+	}
+	return e
+}
+
 // Entries dumps the whole catalog, sorted by key — the data half of a
 // checkpoint snapshot (internal/engine/checkpoint). Keys that have a
 // recorded size but no replica yet (declared ahead of production) are
 // included with empty locations.
 func (r *Registry) Entries() []Entry {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	seen := make(map[Key]struct{}, len(r.loc)+len(r.size))
-	out := make([]Entry, 0, len(r.loc)+len(r.size))
-	add := func(k Key) {
-		if _, dup := seen[k]; dup {
-			return
-		}
-		seen[k] = struct{}{}
-		e := Entry{Key: k, Size: r.size[k]}
-		if set, ok := r.loc[k]; ok {
-			e.Locations = make([]string, 0, len(set))
-			for n := range set {
-				e.Locations = append(e.Locations, n)
+	return r.entries(false)
+}
+
+// EntriesClean is Entries plus a per-stripe dirty reset — the full-catalog
+// capture that starts a fresh delta chain (a base snapshot subsumes every
+// pending change, so the dirty sets restart empty).
+func (r *Registry) EntriesClean() []Entry {
+	return r.entries(true)
+}
+
+func (r *Registry) entries(clean bool) []Entry {
+	var out []Entry
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		seen := make(map[Key]struct{}, len(s.loc)+len(s.size))
+		add := func(k Key) {
+			if _, dup := seen[k]; dup {
+				return
 			}
-			sort.Strings(e.Locations)
+			seen[k] = struct{}{}
+			out = append(out, s.entryLocked(k))
 		}
-		out = append(out, e)
-	}
-	for k := range r.loc {
-		add(k)
-	}
-	for k := range r.size {
-		add(k)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Key.Data != out[j].Key.Data {
-			return out[i].Key.Data < out[j].Key.Data
+		for k := range s.loc {
+			add(k)
 		}
-		return out[i].Key.Ver < out[j].Key.Ver
-	})
+		for k := range s.size {
+			add(k)
+		}
+		if clean {
+			s.dirty = make(map[Key]struct{})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
+	return out
+}
+
+// DirtyCount returns how many catalog rows changed since the last
+// TakeDirty / EntriesClean.
+func (r *Registry) DirtyCount() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.dirty)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// TakeDirty drains the changed catalog rows since the last capture,
+// sorted by key, clearing each stripe's dirty set atomically with the
+// read — a mutation racing the capture lands either in this delta or in
+// the next one, never nowhere. Keys whose entry vanished entirely (no
+// replica, no size) are still reported, with empty locations and size 0,
+// so a delta can overwrite the stale base row.
+func (r *Registry) TakeDirty() []Entry {
+	var out []Entry
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		if len(s.dirty) > 0 {
+			for k := range s.dirty {
+				out = append(out, s.entryLocked(k))
+			}
+			s.dirty = make(map[Key]struct{})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
 	return out
 }
 
