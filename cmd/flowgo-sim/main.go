@@ -62,7 +62,7 @@ func run() error {
 		workload = flag.String("workload", "gwas", "gwas | nmmb | mix | mapreduce | stencil | skew | partition")
 		nodes    = flag.Int("nodes", 4, "pool size")
 		nodeType = flag.String("node-type", "hpc", "hpc | cloud | fog")
-		policy   = flag.String("policy", "min-load", "fifo | min-load | locality | eft | ml | energy | wait-fast")
+		policy   = flag.String("policy", "min-load", "fifo | min-load | p2c | locality | eft | ml | energy | wait-fast")
 		tasks    = flag.Int("tasks", 100, "task count (mix/skew workloads)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		gantt    = flag.Bool("gantt", false, "render a per-node Gantt chart")
@@ -77,6 +77,7 @@ func run() error {
 		ckptDelta   = flag.Bool("checkpoint-delta", false, "persist checkpoints as delta chains (base + O(changes) deltas)")
 		ckptCompact = flag.Int("checkpoint-compact", 0, "compact a delta chain into a fresh base every n deltas (0 = default)")
 		pprofDir    = flag.String("pprof", "", "write cpu.pprof / heap.pprof / mutex.pprof into this directory")
+		noIndex     = flag.Bool("no-index", false, "force the legacy O(pool) scan placement path (disable the placement index)")
 
 		scale         = flag.Bool("scale", false, "run the million-task scale benchmark instead of a workload (see internal/scalebench)")
 		scaleWidth    = flag.Int("scale-width", 0, "scale mode: independent chain count (0 = tasks/100)")
@@ -116,6 +117,7 @@ func run() error {
 		cfg.CompactEvery = *ckptCompact
 		cfg.Seed = *seed
 		cfg.MutexProbe = !*noProbe
+		cfg.NoIndex = *noIndex
 		cfg.Dir = *ckptDir
 		tempDir := !set["checkpoint-dir"]
 		if tempDir {
@@ -171,14 +173,15 @@ func run() error {
 	}
 	if *workload == "partition" {
 		// The partition demo needs a producer tier the consumers can be
-		// cut away from: one HPC node ahead of the fleet, so the idle-pool
-		// tie-break lands the producer (and its output replica) on it.
-		if err := pool.Add(resources.NewNode("src0", resources.Description{
+		// cut away from: one HPC node named to win MinLoad's idle-pool
+		// name tie-break, so the producer (and its output replica) lands
+		// on it.
+		if err := pool.Add(resources.NewNode("a-src0", resources.Description{
 			Cores: 4, MemoryMB: 32_000, SpeedFactor: 1, Class: resources.HPC,
 		})); err != nil {
 			return err
 		}
-		poolDesc = "1 × src0 + " + poolDesc
+		poolDesc = "1 × a-src0 + " + poolDesc
 	}
 	for i := 0; i < *nodes; i++ {
 		if err := pool.Add(resources.NewNode(fmt.Sprintf("%s%03d", *nodeType, i), desc)); err != nil {
@@ -194,6 +197,7 @@ func run() error {
 	cfg := infra.Config{
 		Pool: pool, Net: net, Policy: sched.ByName(*policy),
 		Faults: script, Steal: steal, Availability: avail, HaltAt: *haltAt,
+		DisableIndex: *noIndex,
 	}
 	var ckptStore *checkpoint.Store
 	if ckptPolicy.Mode != checkpoint.ModeOff {
@@ -252,7 +256,7 @@ func run() error {
 		// Producer on one tier, consumers pinned to another, released
 		// after a scripted cut: the availability demonstration workload
 		// (pair with -faults "cut@...:hpc-cloud,heal@...:hpc-cloud" and
-		// -availability defer|recompute; the src0 producer node was
+		// -availability defer|recompute; the a-src0 producer node was
 		// prepended above — set -node-type cloud for the consumer fleet).
 		specs = workloads.PartitionPipeline(*tasks, 2*time.Second, 5*time.Second, 50e6, 10*time.Second)
 	default:

@@ -182,7 +182,9 @@ func (e *Engine) feedablePickLocked(t *Task, fitting []*resources.Node, tried *r
 // availability wake source. The recompute hint is honoured so a hinted
 // producer is never held queued for capacity on the wrong side of a cut.
 func (e *Engine) feedableCapableLocked(t *Task) bool {
-	for _, n := range e.cfg.Pool.Capable(t.Constraints) {
+	capable := e.cfg.Pool.IndexForSig(t.sig, t.Constraints).AppendCapable(e.capScratch[:0])
+	e.capScratch = capable
+	for _, n := range capable {
 		if t.availNeed != "" && e.cfg.Net != nil && !e.cfg.Net.Reachable(n.Name(), t.availNeed) {
 			continue
 		}

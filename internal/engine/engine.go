@@ -233,6 +233,12 @@ type Config struct {
 	// Availability type). Effective only when Registry and Net are both
 	// set — without the transfer books the engine cannot classify inputs.
 	Availability Availability
+	// DisableIndex forces the legacy materialized-slice placement path
+	// even when the policy implements sched.IndexedPolicy. The pool's
+	// capability index still answers Fitting/Capable queries; this only
+	// disables the engine's direct indexed pick. Exists for parity
+	// testing and as an escape hatch.
+	DisableIndex bool
 }
 
 // Stats counts engine activity since creation.
@@ -293,6 +299,11 @@ type Engine struct {
 	cfg  Config
 	mgr  *transfer.Manager // nil unless Registry and Net are both set
 	prio sched.Prioritizer // non-nil when the policy ranks ready tasks
+	// idxPol is non-nil when the policy can pick straight off the pool's
+	// capability index (sched.IndexedPolicy) and Config.DisableIndex is
+	// unset; placeLocked then skips materializing the fitting slice for
+	// unhinted single-node tasks.
+	idxPol sched.IndexedPolicy
 
 	// readyN is the queued-ready count. It is written only under mu but
 	// read lock-free by Schedule's empty fast path and ReadyCount, so a
@@ -337,6 +348,11 @@ type Engine struct {
 	pendingWakes []transfer.Key                      // staged replicas with waiters (processed between waves)
 	stats        Stats
 	view         sched.TaskView // scratch view (guarded by mu; never retained)
+	// Scratch candidate buffers for the wave hot path (guarded by mu;
+	// never escape a placement attempt — Placement.Nodes is always a
+	// fresh allocation).
+	fitScratch []*resources.Node
+	capScratch []*resources.Node
 
 	launchMu sync.Mutex  // serialises launch batches (not held with mu)
 	launch   []Placement // scratch batch (guarded by launchMu)
@@ -368,6 +384,11 @@ func New(cfg Config) *Engine {
 	}
 	if p, ok := cfg.Policy.(sched.Prioritizer); ok {
 		e.prio = p
+	}
+	if !cfg.DisableIndex {
+		if ip, ok := cfg.Policy.(sched.IndexedPolicy); ok {
+			e.idxPol = ip
+		}
 	}
 	if cfg.Registry != nil && cfg.Net != nil {
 		e.mgr = transfer.NewManager(cfg.Net, cfg.Registry)
@@ -739,34 +760,49 @@ const (
 // placeLocked tries to start one task now: policy choice, availability
 // classification, group reservation, input staging.
 func (e *Engine) placeLocked(t *Task) (Placement, placeOutcome) {
-	fitting := e.cfg.Pool.Fitting(t.Constraints)
 	hinted := t.availNeed != "" && e.cfg.Net != nil
-	if hinted {
-		// Availability-recompute hint: this is a producer resubmitted for
-		// a consumer stranded behind a cut, so only nodes that can reach
-		// the consumer's side produce a useful replica. A capacity
-		// failure under the hint filter is task-specific — unhinted
-		// siblings may still fit the excluded nodes — so it is reported
-		// as a decline, not a signature-wide failure.
-		kept := fitting[:0]
-		for _, n := range fitting {
-			if e.cfg.Net.Reachable(n.Name(), t.availNeed) {
-				kept = append(kept, n)
-			}
-		}
-		fitting = kept
-	}
 	capFail := placeNoCapacity
 	if hinted {
 		capFail = placeDeclined
 	}
 	wantNodes := t.Constraints.EffectiveNodes()
-	if len(fitting) < wantNodes {
-		return Placement{}, capFail
-	}
-	primary := e.cfg.Policy.Pick(e.viewLocked(t), fitting, e.cfg.SchedContext)
-	if primary == nil {
-		return Placement{}, placeDeclined
+
+	var primary *resources.Node
+	var fitting []*resources.Node // nil on the indexed fast path until needed
+	if e.idxPol != nil && !hinted && wantNodes == 1 {
+		// Indexed fast path: the policy picks straight off the pool's
+		// per-signature index — no fitting slice is materialized. The
+		// IndexedPolicy contract makes nil mean "nothing fits", which is
+		// exactly the signature-wide capacity failure.
+		primary = e.idxPol.PickIndexed(e.viewLocked(t), e.cfg.Pool.IndexForSig(t.sig, t.Constraints), e.cfg.SchedContext)
+		if primary == nil {
+			return Placement{}, placeNoCapacity
+		}
+	} else {
+		fitting = e.cfg.Pool.IndexForSig(t.sig, t.Constraints).AppendFitting(e.fitScratch[:0], t.Constraints)
+		e.fitScratch = fitting // keep the (possibly grown) buffer
+		if hinted {
+			// Availability-recompute hint: this is a producer resubmitted for
+			// a consumer stranded behind a cut, so only nodes that can reach
+			// the consumer's side produce a useful replica. A capacity
+			// failure under the hint filter is task-specific — unhinted
+			// siblings may still fit the excluded nodes — so it is reported
+			// as a decline, not a signature-wide failure.
+			kept := fitting[:0]
+			for _, n := range fitting {
+				if e.cfg.Net.Reachable(n.Name(), t.availNeed) {
+					kept = append(kept, n)
+				}
+			}
+			fitting = kept
+		}
+		if len(fitting) < wantNodes {
+			return Placement{}, capFail
+		}
+		primary = e.cfg.Policy.Pick(e.viewLocked(t), fitting, e.cfg.SchedContext)
+		if primary == nil {
+			return Placement{}, placeDeclined
+		}
 	}
 
 	// Classify inputs against the chosen primary before reserving
@@ -786,7 +822,13 @@ func (e *Engine) placeLocked(t *Task) (Placement, placeOutcome) {
 			// The chosen primary cannot be fed, but another fitting node
 			// may well be — the replica's own node, or one on the right
 			// side of the cut. Re-offer the choice over the feedable
-			// subset before giving up on the task for this wave.
+			// subset before giving up on the task for this wave. The
+			// indexed fast path defers materializing the fitting slice to
+			// exactly this (rare) branch.
+			if fitting == nil {
+				fitting = e.cfg.Pool.IndexForSig(t.sig, t.Constraints).AppendFitting(e.fitScratch[:0], t.Constraints)
+				e.fitScratch = fitting
+			}
 			if alt, altPlan, ok := e.feedablePickLocked(t, fitting, primary); ok {
 				primary, plan = alt, altPlan
 			} else if e.feedableCapableLocked(t) {

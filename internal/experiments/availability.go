@@ -52,8 +52,11 @@ func e15Pool(consumNodes int) (*resources.Pool, *simnet.Network) {
 	_ = pool.Add(resources.NewNode("src0", resources.Description{
 		Cores: 4, MemoryMB: 32_000, SpeedFactor: 1, Class: resources.HPC,
 	}))
+	// The consumer VMs sort after src0 so MinLoad's name tie-break lands
+	// the unpinned producer on the HPC node — the placement the scripted
+	// cut is aimed at.
 	for i := 0; i < consumNodes; i++ {
-		_ = pool.Add(resources.NewNode(fmt.Sprintf("cloud%03d", i), resources.CloudVM))
+		_ = pool.Add(resources.NewNode(fmt.Sprintf("vm%03d", i), resources.CloudVM))
 	}
 	net := simnet.Continuum()
 	for _, n := range pool.Nodes() {

@@ -112,6 +112,11 @@ type Config struct {
 	// locally (engine.Availability). The live runtime takes the identical
 	// knob.
 	Availability engine.Availability
+	// DisableIndex forces the engine's legacy materialized-slice
+	// placement path even when the policy supports indexed picks
+	// (sched.IndexedPolicy). Parity-testing escape hatch; the live
+	// runtime takes the identical knob.
+	DisableIndex bool
 	// Checkpoint, when set (with a Store), snapshots the engine state to
 	// disk under the configured policy, on the virtual clock — the same
 	// policy the live runtime drives on wall time.
@@ -258,6 +263,7 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 		Tracer:       cfg.Tracer,
 		Steal:        cfg.Steal,
 		Availability: cfg.Availability,
+		DisableIndex: cfg.DisableIndex,
 		SchedContext: &sched.Context{
 			Registry:  s.reg,
 			Net:       cfg.Net,

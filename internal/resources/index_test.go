@@ -1,0 +1,256 @@
+package resources
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// indexSigs are the constraint signatures the churn property test keeps
+// live — a spread over cores, memory, GPUs, class and software so nodes
+// belong to overlapping subsets of the signature sets.
+var indexSigs = []Constraints{
+	{},
+	{Cores: 2},
+	{Cores: 4, MemoryMB: 8_000},
+	{GPUs: 1},
+	{Class: HPC},
+	{Software: []string{"blas"}},
+}
+
+// indexDescs are the node shapes the churn test draws from.
+var indexDescs = []Description{
+	{Cores: 8, MemoryMB: 32_000, SpeedFactor: 1, Class: HPC, Software: []string{"blas", "mpi"}},
+	{Cores: 4, MemoryMB: 16_000, SpeedFactor: 1, Class: Cloud},
+	{Cores: 2, MemoryMB: 8_000, SpeedFactor: 0.5, Class: Fog},
+	{Cores: 8, MemoryMB: 64_000, GPUs: 2, SpeedFactor: 1, Class: Cloud, Software: []string{"blas"}},
+	{Cores: 1, MemoryMB: 2_000, SpeedFactor: 0.2, Class: Edge},
+}
+
+// scanFitting is the from-scratch reference the index must match: every
+// pool node that currently accepts c, in pool insertion order.
+func scanFitting(p *Pool, c Constraints) []*Node {
+	var out []*Node
+	for _, n := range p.Nodes() {
+		if n.CanReserve(c) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// scanMinLoad is the reference MinLoad pick: the fitting node with the
+// lowest busy-core fraction, ties broken by name.
+func scanMinLoad(p *Pool, c Constraints) *Node {
+	var best *Node
+	bestFrac := 0.0
+	for _, n := range p.Nodes() {
+		if !n.CanReserve(c) {
+			continue
+		}
+		f := float64(n.BusyCores()) / float64(n.Desc().Cores)
+		if best == nil || f < bestFrac || (f == bestFrac && n.Name() < best.Name()) {
+			best, bestFrac = n, f
+		}
+	}
+	return best
+}
+
+func checkIndexAgainstScan(t *testing.T, p *Pool, step int) {
+	t.Helper()
+	for _, c := range indexSigs {
+		want := scanFitting(p, c)
+		got := p.Fitting(c)
+		if len(got) != len(want) {
+			t.Fatalf("step %d sig %q: Fitting returned %d nodes, scan %d", step, c.Signature(), len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("step %d sig %q: Fitting[%d] = %s, scan says %s", step, c.Signature(), i, got[i].Name(), want[i].Name())
+			}
+		}
+		wantCap := 0
+		for _, n := range p.Nodes() {
+			if n.Desc().Satisfies(c) {
+				wantCap++
+			}
+		}
+		if gotCap := len(p.Capable(c)); gotCap != wantCap {
+			t.Fatalf("step %d sig %q: Capable returned %d nodes, scan %d", step, c.Signature(), gotCap, wantCap)
+		}
+		if p.AnyCapable(c) != (wantCap > 0) {
+			t.Fatalf("step %d sig %q: AnyCapable = %v with %d capable", step, c.Signature(), p.AnyCapable(c), wantCap)
+		}
+		si := p.IndexFor(c)
+		wantMin := scanMinLoad(p, c)
+		gotMin := si.MinLoadFitting(c)
+		if gotMin != wantMin {
+			t.Fatalf("step %d sig %q: MinLoadFitting = %v, scan min = %v", step, c.Signature(), name(gotMin), name(wantMin))
+		}
+		var wantFirst *Node
+		if len(want) > 0 {
+			wantFirst = want[0]
+		}
+		if gotFirst := si.FirstFitting(c); gotFirst != wantFirst {
+			t.Fatalf("step %d sig %q: FirstFitting = %v, scan first = %v", step, c.Signature(), name(gotFirst), name(wantFirst))
+		}
+	}
+}
+
+func name(n *Node) string {
+	if n == nil {
+		return "<nil>"
+	}
+	return n.Name()
+}
+
+// TestIndexMatchesScanUnderChurn is the placement-index property test:
+// after every step of a randomized interleaving of Reserve, Release, Add,
+// Remove, Drain and Undrain, the capability sets and load heaps must
+// answer Fitting / Capable / MinLoad / FirstFitting exactly as a
+// from-scratch scan of the pool does.
+func TestIndexMatchesScanUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pool := NewPool()
+
+	type reservation struct {
+		n *Node
+		c Constraints
+	}
+	var held []reservation
+	next := 0
+	addNode := func() {
+		d := indexDescs[rng.Intn(len(indexDescs))]
+		n := NewNode(fmt.Sprintf("churn-%03d", next), d)
+		next++
+		if err := pool.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		addNode()
+	}
+	// Touch every signature up front so the sets exist before churn — the
+	// maintenance paths, not lazy rebuilds, are what is under test.
+	for _, c := range indexSigs {
+		_ = pool.IndexFor(c)
+	}
+
+	for step := 0; step < 2500; step++ {
+		names := pool.Names()
+		switch op := rng.Intn(10); {
+		case op < 3: // reserve on a random fitting node of a random signature
+			c := indexSigs[rng.Intn(len(indexSigs))]
+			if fit := pool.Fitting(c); len(fit) > 0 {
+				n := fit[rng.Intn(len(fit))]
+				if err := n.Reserve(c); err == nil {
+					held = append(held, reservation{n, c})
+				}
+			}
+		case op < 6: // release a random outstanding reservation
+			if len(held) > 0 {
+				i := rng.Intn(len(held))
+				r := held[i]
+				held = append(held[:i], held[i+1:]...)
+				r.n.Release(r.c)
+			}
+		case op < 7: // add a node
+			if len(names) < 16 {
+				addNode()
+			}
+		case op < 8: // remove a node (dropping its outstanding reservations)
+			if len(names) > 2 {
+				victim := names[rng.Intn(len(names))]
+				kept := held[:0]
+				for _, r := range held {
+					if r.n.Name() != victim {
+						kept = append(kept, r)
+					}
+				}
+				held = kept
+				if err := pool.Remove(victim); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case op < 9: // cordon
+			if n, ok := pool.Get(names[rng.Intn(len(names))]); ok {
+				n.Drain()
+			}
+		default: // lift a cordon
+			if n, ok := pool.Get(names[rng.Intn(len(names))]); ok {
+				n.Undrain()
+			}
+		}
+		checkIndexAgainstScan(t, pool, step)
+	}
+}
+
+// TestIndexPowerOfTwoPick pins the P2C contract: the pick always fits,
+// and nil comes back only when nothing fits at all — sampling never turns
+// a placeable task into a capacity failure.
+func TestIndexPowerOfTwoPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pool := NewPool()
+	for i := 0; i < 8; i++ {
+		if err := pool.Add(NewNode(fmt.Sprintf("p2c-%d", i), Description{
+			Cores: 2, MemoryMB: 8_000, SpeedFactor: 1,
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := Constraints{Cores: 2}
+	si := pool.IndexFor(c)
+	var reserved []*Node
+	for i := 0; i < 8; i++ {
+		n := si.PowerOfTwoPick(c, rng)
+		if n == nil {
+			t.Fatalf("pick %d: nil with %d free nodes", i, 8-len(reserved))
+		}
+		if err := n.Reserve(c); err != nil {
+			t.Fatalf("pick %d: chose %s which does not fit: %v", i, n.Name(), err)
+		}
+		reserved = append(reserved, n)
+	}
+	if n := si.PowerOfTwoPick(c, rng); n != nil {
+		t.Fatalf("pick on a full pool returned %s, want nil", n.Name())
+	}
+	seen := map[string]bool{}
+	for _, n := range reserved {
+		if seen[n.Name()] {
+			t.Fatalf("node %s picked twice while full", n.Name())
+		}
+		seen[n.Name()] = true
+	}
+}
+
+// TestIndexAppendReusesBuffer pins the scratch-buffer contract of the
+// Append variants: appending into a cleared buffer reuses its backing
+// array instead of allocating.
+func TestIndexAppendReusesBuffer(t *testing.T) {
+	pool := NewPool()
+	for i := 0; i < 4; i++ {
+		if err := pool.Add(NewNode(fmt.Sprintf("buf-%d", i), Description{
+			Cores: 4, MemoryMB: 8_000, SpeedFactor: 1,
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := Constraints{Cores: 1}
+	buf := pool.AppendFitting(nil, c)
+	if len(buf) != 4 {
+		t.Fatalf("AppendFitting returned %d nodes, want 4", len(buf))
+	}
+	again := pool.AppendFitting(buf[:0], c)
+	if &again[0] != &buf[0] {
+		t.Fatal("AppendFitting reallocated although the scratch buffer had capacity")
+	}
+	// With the signature precomputed (as the engine caches it per task)
+	// the warm-buffer path must not allocate at all.
+	sig := c.Signature()
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = pool.IndexForSig(sig, c).AppendFitting(buf[:0], c)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendFitting allocated %.1f times per call on a warm buffer, want 0", allocs)
+	}
+}

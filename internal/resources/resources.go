@@ -214,6 +214,10 @@ type Node struct {
 	freeGPUs  int
 	running   int
 	drained   bool
+	// watchers are the placement indexes of the pools holding this node;
+	// they are notified (under mu, so deliveries are ordered) after every
+	// capacity or drain-state change.
+	watchers []*Index
 }
 
 // NewNode creates a node with all capacity free.
@@ -228,6 +232,51 @@ func NewNode(name string, desc Description) *Node {
 		freeMemMB: desc.MemoryMB,
 		freeGPUs:  desc.GPUs,
 	}
+}
+
+// stateLocked snapshots the index-relevant dynamic state. Callers hold mu.
+func (n *Node) stateLocked() capState {
+	return capState{
+		freeCores: n.freeCores,
+		freeMemMB: n.freeMemMB,
+		freeGPUs:  n.freeGPUs,
+		drained:   n.drained,
+	}
+}
+
+// notifyLocked delivers the current state to every watching index.
+// Callers hold mu, so notifications arrive in mutation order and a
+// watcher's cache can never run backwards.
+func (n *Node) notifyLocked() {
+	if len(n.watchers) == 0 {
+		return
+	}
+	st := n.stateLocked()
+	for _, w := range n.watchers {
+		w.nodeChanged(n.name, st)
+	}
+}
+
+// attachIndex registers idx as a watcher and installs the node's current
+// state in it, atomically with respect to concurrent Reserve/Release.
+func (n *Node) attachIndex(idx *Index) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.watchers = append(n.watchers, idx)
+	idx.addNode(n, n.stateLocked())
+}
+
+// detachIndex unregisters idx and drops the node from it.
+func (n *Node) detachIndex(idx *Index) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, w := range n.watchers {
+		if w == idx {
+			n.watchers = append(n.watchers[:i], n.watchers[i+1:]...)
+			break
+		}
+	}
+	idx.removeNode(n.name)
 }
 
 // Name returns the node's unique name.
@@ -265,6 +314,7 @@ func (n *Node) Drain() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.drained = true
+	n.notifyLocked()
 }
 
 // Undrain lifts a cordon.
@@ -272,6 +322,7 @@ func (n *Node) Undrain() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.drained = false
+	n.notifyLocked()
 }
 
 // Drained reports whether the node is cordoned.
@@ -313,6 +364,7 @@ func (n *Node) Reserve(c Constraints) error {
 	n.freeMemMB -= c.MemoryMB
 	n.freeGPUs -= c.GPUs
 	n.running++
+	n.notifyLocked()
 	return nil
 }
 
@@ -337,6 +389,7 @@ func (n *Node) Release(c Constraints) {
 	if n.running > 0 {
 		n.running--
 	}
+	n.notifyLocked()
 }
 
 // BusyCores returns the number of reserved cores.
@@ -354,14 +407,16 @@ type Pool struct {
 	mu    sync.RWMutex
 	nodes map[string]*Node
 	order []string // insertion order for deterministic iteration
+	idx   *Index   // placement index (see index.go); never nil
 }
 
 // NewPool returns an empty pool.
 func NewPool() *Pool {
-	return &Pool{nodes: make(map[string]*Node)}
+	return &Pool{nodes: make(map[string]*Node), idx: newIndex()}
 }
 
-// Add inserts a node; the name must be unique.
+// Add inserts a node; the name must be unique. The placement index picks
+// the node up atomically with the insertion.
 func (p *Pool) Add(n *Node) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -370,23 +425,26 @@ func (p *Pool) Add(n *Node) error {
 	}
 	p.nodes[n.Name()] = n
 	p.order = append(p.order, n.Name())
+	n.attachIndex(p.idx)
 	return nil
 }
 
-// Remove deletes a node by name.
+// Remove deletes a node by name and drops it from the placement index.
 func (p *Pool) Remove(name string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, ok := p.nodes[name]; !ok {
+	n, ok := p.nodes[name]
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
 	}
 	delete(p.nodes, name)
-	for i, n := range p.order {
-		if n == name {
+	for i, o := range p.order {
+		if o == name {
 			p.order = append(p.order[:i], p.order[i+1:]...)
 			break
 		}
 	}
+	n.detachIndex(p.idx)
 	return nil
 }
 
@@ -417,39 +475,35 @@ func (p *Pool) Len() int {
 }
 
 // Fitting returns the nodes that currently have free capacity for c, in
-// insertion order.
+// insertion order. Served from the placement index: one signature-set
+// lookup over cached capacity instead of a full-pool scan that takes
+// every node's mutex.
 func (p *Pool) Fitting(c Constraints) []*Node {
-	var out []*Node
-	for _, n := range p.Nodes() {
-		if n.CanReserve(c) {
-			out = append(out, n)
-		}
-	}
-	return out
+	return p.AppendFitting(nil, c)
 }
 
-// Capable returns the nodes that could ever run c (ignoring load).
+// AppendFitting is Fitting appending into a caller-owned buffer — the
+// allocation-free variant for placement hot paths.
+func (p *Pool) AppendFitting(dst []*Node, c Constraints) []*Node {
+	return p.IndexFor(c).AppendFitting(dst, c)
+}
+
+// Capable returns the nodes that could ever run c (ignoring load and
+// cordons), in insertion order.
 func (p *Pool) Capable(c Constraints) []*Node {
-	var out []*Node
-	for _, n := range p.Nodes() {
-		if n.Desc().Satisfies(c) {
-			out = append(out, n)
-		}
-	}
-	return out
+	return p.AppendCapable(nil, c)
+}
+
+// AppendCapable is Capable appending into a caller-owned buffer.
+func (p *Pool) AppendCapable(dst []*Node, c Constraints) []*Node {
+	return p.IndexFor(c).AppendCapable(dst)
 }
 
 // AnyCapable reports whether some node could ever run c (ignoring load),
-// without allocating — the submit-path admission check.
+// without allocating — the submit-path admission check. O(1) after the
+// signature's first query.
 func (p *Pool) AnyCapable(c Constraints) bool {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	for _, n := range p.nodes {
-		if n.Desc().Satisfies(c) {
-			return true
-		}
-	}
-	return false
+	return p.IndexFor(c).Len() > 0
 }
 
 // TotalCores sums cores across the pool.

@@ -1,0 +1,125 @@
+// Placement microbenchmark: the indexed pick (per-signature capability
+// set + load heap, sched.IndexedPolicy) priced against the legacy
+// O(pool) scan it replaced (walk every node, take its lock, materialize
+// a fitting slice, scan it for the minimum). Run() attaches a
+// 1000-node sample to the report so BENCH_scale.json and the CI scale
+// smoke track the ratio; BenchmarkPlacementPoolSize sweeps pool sizes.
+package scalebench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/resources"
+	"repro/internal/sched"
+)
+
+// placementSigs is the constraint mix the measurement cycles through —
+// the same three signatures the scale workload uses, so the index holds
+// several live capability sets.
+var placementSigs = []resources.Constraints{
+	{Cores: 1}, {Cores: 2}, {Cores: 4},
+}
+
+// PlacementReport prices one placement decision at a fixed pool size,
+// for the scale-smoke diff.
+type PlacementReport struct {
+	// Nodes is the pool size sampled; Ops the decisions timed per arm.
+	Nodes int `json:"nodes"`
+	Ops   int `json:"ops"`
+	// IndexedPerSec and ScanPerSec are placement decisions per second
+	// through the index and through the legacy full-pool scan.
+	IndexedPerSec float64 `json:"indexed_per_second"`
+	ScanPerSec    float64 `json:"scan_per_second"`
+	// IndexedOverScan is the speedup factor.
+	IndexedOverScan float64 `json:"indexed_over_scan"`
+}
+
+// placementPool builds the measurement pool: n 8-core nodes, half the
+// cores pre-reserved in a staggered pattern so load fractions differ and
+// the heaps are non-trivial.
+func placementPool(n int) *resources.Pool {
+	pool := resources.NewPool()
+	for i := 0; i < n; i++ {
+		node := resources.NewNode(fmt.Sprintf("pb-%05d", i), resources.Description{
+			Cores: 8, MemoryMB: 32 << 10, SpeedFactor: 1,
+		})
+		_ = pool.Add(node)
+		for j := 0; j < i%4; j++ {
+			_ = node.Reserve(resources.Constraints{Cores: 1})
+		}
+	}
+	return pool
+}
+
+// runPlacements performs ops placement decisions against pool — pick,
+// reserve, and (once a rolling window fills) release the oldest — using
+// either the indexed pick or the legacy scan. It returns the wall time
+// of the loop. The window keeps the pool around its starting load, so
+// both arms price steady-state decisions rather than a fill ramp.
+func runPlacements(pool *resources.Pool, ops int, indexed bool) time.Duration {
+	type res struct {
+		n *resources.Node
+		c resources.Constraints
+	}
+	var window [256]res // reservation ring: steady-state load, not a fill ramp
+	filled, pos := 0, 0
+	policy := sched.MinLoad{}
+	sigs := make([]string, len(placementSigs))
+	for i, c := range placementSigs {
+		sigs[i] = c.Signature()
+		_ = pool.IndexForSig(sigs[i], c) // build the sets outside the timed loop
+	}
+	all := pool.Nodes() // the legacy scan's stable membership snapshot
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		k := i % len(placementSigs)
+		c := placementSigs[k]
+		if filled == len(window) {
+			old := window[pos]
+			old.n.Release(old.c)
+			filled--
+		}
+		var n *resources.Node
+		if indexed {
+			n = policy.PickIndexed(&sched.TaskView{Constraints: c}, pool.IndexForSig(sigs[k], c), nil)
+		} else {
+			// The pre-index cost model: visit every node (one lock each),
+			// materialize a fresh fitting slice, scan it for the minimum.
+			fitting := make([]*resources.Node, 0, len(all))
+			for _, cand := range all {
+				if cand.CanReserve(c) {
+					fitting = append(fitting, cand)
+				}
+			}
+			if len(fitting) > 0 {
+				n = policy.Pick(&sched.TaskView{Constraints: c}, fitting, nil)
+			}
+		}
+		if n == nil {
+			continue
+		}
+		if err := n.Reserve(c); err == nil {
+			window[pos] = res{n, c}
+			pos = (pos + 1) % len(window)
+			filled++
+		}
+	}
+	return time.Since(start)
+}
+
+// MeasurePlacement times ops placement decisions per arm on a fresh
+// nodes-sized pool and returns the comparison.
+func MeasurePlacement(nodes, ops int) *PlacementReport {
+	rep := &PlacementReport{Nodes: nodes, Ops: ops}
+	if idx := runPlacements(placementPool(nodes), ops, true); idx > 0 {
+		rep.IndexedPerSec = float64(ops) / idx.Seconds()
+	}
+	if scan := runPlacements(placementPool(nodes), ops, false); scan > 0 {
+		rep.ScanPerSec = float64(ops) / scan.Seconds()
+	}
+	if rep.ScanPerSec > 0 {
+		rep.IndexedOverScan = rep.IndexedPerSec / rep.ScanPerSec
+	}
+	return rep
+}

@@ -1,0 +1,42 @@
+package scalebench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPlacementPoolSize sweeps pool sizes for one steady-state
+// placement decision (pick + reserve, rolling release), indexed against
+// the legacy full-pool scan. The indexed arm should be near-flat across
+// pool sizes; the scan arm grows linearly — the O(pool) ceiling this
+// index removed.
+//
+//	go test -bench BenchmarkPlacementPoolSize -run '^$' ./internal/scalebench/
+func BenchmarkPlacementPoolSize(b *testing.B) {
+	for _, arm := range []struct {
+		name    string
+		indexed bool
+	}{{"indexed", true}, {"scan", false}} {
+		for _, nodes := range []int{8, 100, 1000} {
+			b.Run(fmt.Sprintf("%s/nodes=%d", arm.name, nodes), func(b *testing.B) {
+				pool := placementPool(nodes)
+				b.ResetTimer()
+				runPlacements(pool, b.N, arm.indexed)
+			})
+		}
+	}
+}
+
+// TestMeasurePlacement keeps the report measurement compiled and sane:
+// both arms must place, and the indexed arm must not lose to the scan on
+// a 200-node pool by more than noise allows.
+func TestMeasurePlacement(t *testing.T) {
+	rep := MeasurePlacement(200, 4000)
+	if rep.IndexedPerSec <= 0 || rep.ScanPerSec <= 0 {
+		t.Fatalf("degenerate measurement: %+v", rep)
+	}
+	if rep.IndexedOverScan < 0.5 {
+		t.Fatalf("indexed placement %.2f× the scan rate on 200 nodes; expected ≥0.5×: %+v",
+			rep.IndexedOverScan, rep)
+	}
+}

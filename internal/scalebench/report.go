@@ -100,13 +100,14 @@ type RestoreReport struct {
 
 // Report is the full BENCH_scale.json document.
 type Report struct {
-	Schema        int            `json:"schema"`
-	Config        ConfigOut      `json:"config"`
-	Run           RunReport      `json:"run"`
-	WaveLatencyUS Quantiles      `json:"wave_latency_us"`
-	Checkpoint    CkptReport     `json:"checkpoint"`
-	Restore       *RestoreReport `json:"restore,omitempty"`
-	Contention    *MutexReport   `json:"mutex_contention,omitempty"`
+	Schema        int              `json:"schema"`
+	Config        ConfigOut        `json:"config"`
+	Run           RunReport        `json:"run"`
+	WaveLatencyUS Quantiles        `json:"wave_latency_us"`
+	Checkpoint    CkptReport       `json:"checkpoint"`
+	Restore       *RestoreReport   `json:"restore,omitempty"`
+	Placement     *PlacementReport `json:"placement,omitempty"`
+	Contention    *MutexReport     `json:"mutex_contention,omitempty"`
 }
 
 // Schema is the report format version.

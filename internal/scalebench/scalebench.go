@@ -73,6 +73,10 @@ type Config struct {
 	Keep int
 	// Seed seeds the duration jitter.
 	Seed int64
+	// NoIndex forces the engine's legacy O(pool) scan placement path
+	// (engine.Config.DisableIndex) — the comparison arm of the placement
+	// index benchmarks.
+	NoIndex bool
 	// MutexProbe, when true, runs the post-run concurrent contention
 	// probe (see probe.go).
 	MutexProbe bool
@@ -308,12 +312,13 @@ func Run(cfg Config) (*Report, error) {
 		h.store = st
 	}
 	h.eng = engine.New(engine.Config{
-		Pool:     pool,
-		Policy:   sched.MinLoad{},
-		Clock:    h.clock,
-		Executor: &executor{h: h},
-		Registry: h.reg,
-		Net:      simnet.New(simnet.Link{BandwidthMBps: 1000, Latency: 100 * time.Microsecond}),
+		Pool:         pool,
+		Policy:       sched.MinLoad{},
+		Clock:        h.clock,
+		Executor:     &executor{h: h},
+		Registry:     h.reg,
+		Net:          simnet.New(simnet.Link{BandwidthMBps: 1000, Latency: 100 * time.Microsecond}),
+		DisableIndex: cfg.NoIndex,
 	})
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -381,6 +386,14 @@ func Run(cfg Config) (*Report, error) {
 		rep.Checkpoint.Deltas = h.deltas
 		rep.Checkpoint.DiskBytes = dirBytes(cfg.Dir)
 	}
+
+	// Price one placement decision at this pool size, indexed vs the
+	// legacy scan, so the report (and the CI smoke diff) tracks the
+	// placement-index speedup alongside campaign throughput.
+	if cfg.Progress != nil {
+		cfg.Progress("measuring placement rate (indexed vs scan)")
+	}
+	rep.Placement = MeasurePlacement(cfg.Nodes, 50_000)
 
 	if cfg.MutexProbe {
 		if cfg.Progress != nil {

@@ -100,6 +100,10 @@ func TestScaleSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The smoke's placement section is pinned to the 1000-node pool shape
+	// (the scale ceiling the index removed), independent of the smaller
+	// smoke campaign, so the nightly diff guards the number that matters.
+	rep.Placement = MeasurePlacement(1000, 50_000)
 	if rep.Run.TasksCompleted != cfg.Tasks {
 		t.Fatalf("completed %d of %d", rep.Run.TasksCompleted, cfg.Tasks)
 	}
@@ -138,6 +142,19 @@ func TestScaleSmoke(t *testing.T) {
 	if rep.Run.TasksPerSec < floor {
 		t.Fatalf("scheduling throughput regressed >20%%: %.0f tasks/s vs baseline %.0f (floor %.0f)",
 			rep.Run.TasksPerSec, base.Run.TasksPerSec, floor)
+	}
+	if base.Placement != nil {
+		if rep.Placement == nil {
+			t.Fatal("baseline has a placement section but this run measured none")
+		}
+		pfloor := 0.8 * base.Placement.IndexedPerSec
+		if rep.Placement.IndexedPerSec < pfloor {
+			t.Fatalf("indexed placement rate regressed >20%%: %.0f/s vs baseline %.0f/s (floor %.0f)",
+				rep.Placement.IndexedPerSec, base.Placement.IndexedPerSec, pfloor)
+		}
+		t.Logf("placement %.0f/s indexed vs %.0f/s scan (%.1f×; baseline %.0f/s, floor %.0f)",
+			rep.Placement.IndexedPerSec, rep.Placement.ScanPerSec, rep.Placement.IndexedOverScan,
+			base.Placement.IndexedPerSec, pfloor)
 	}
 	t.Logf("throughput %.0f tasks/s (baseline %.0f, floor %.0f); delta %.0f× cheaper; restore %.0fms",
 		rep.Run.TasksPerSec, base.Run.TasksPerSec, floor,

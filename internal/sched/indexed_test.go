@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/resources"
+)
+
+// indexedPool builds a pool with staggered loads: node p-<i> has i of its
+// 4 cores reserved, so the load order is fully determined and p-0 is the
+// unique MinLoad winner.
+func indexedPool(t *testing.T, n int) *resources.Pool {
+	t.Helper()
+	pool := resources.NewPool()
+	for i := 0; i < n; i++ {
+		node := resources.NewNode(fmt.Sprintf("p-%d", i), resources.Description{
+			Cores: 4, MemoryMB: 16_000, SpeedFactor: 1,
+		})
+		if err := pool.Add(node); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < i%4; j++ {
+			if err := node.Reserve(resources.Constraints{Cores: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return pool
+}
+
+// TestMinLoadTieBreaksByName pins the deterministic tie-break: with every
+// load fraction equal, MinLoad picks the lexicographically smallest node
+// name regardless of slice order.
+func TestMinLoadTieBreaksByName(t *testing.T) {
+	ns := []*resources.Node{
+		resources.NewNode("zeta", resources.CloudVM),
+		resources.NewNode("beta", resources.CloudVM),
+		resources.NewNode("alpha", resources.CloudVM),
+	}
+	got := MinLoad{}.Pick(&TaskView{}, ns, nil)
+	if got == nil || got.Name() != "alpha" {
+		t.Fatalf("MinLoad tie picked %v, want alpha", got)
+	}
+	// Reversing the slice must not change the winner.
+	rev := []*resources.Node{ns[2], ns[1], ns[0]}
+	if got := (MinLoad{}).Pick(&TaskView{}, rev, nil); got == nil || got.Name() != "alpha" {
+		t.Fatalf("MinLoad tie after reorder picked %v, want alpha", got)
+	}
+}
+
+// TestPickIndexedMatchesScanPick is the policy half of the index
+// equivalence contract: for FIFO and MinLoad, PickIndexed over the
+// pool's index returns exactly the node Pick returns over the
+// materialized fitting slice, across a randomized load churn.
+func TestPickIndexedMatchesScanPick(t *testing.T) {
+	pool := indexedPool(t, 9)
+	c := resources.Constraints{Cores: 1}
+	rng := rand.New(rand.NewSource(3))
+	type picker interface {
+		Policy
+		PickIndexed(*TaskView, resources.SigIndex, *Context) *resources.Node
+	}
+	policies := []picker{FIFO{}, MinLoad{}}
+	var held []*resources.Node
+	for step := 0; step < 400; step++ {
+		if rng.Intn(2) == 0 {
+			if fit := pool.Fitting(c); len(fit) > 0 {
+				n := fit[rng.Intn(len(fit))]
+				if err := n.Reserve(c); err == nil {
+					held = append(held, n)
+				}
+			}
+		} else if len(held) > 0 {
+			i := rng.Intn(len(held))
+			held[i].Release(c)
+			held = append(held[:i], held[i+1:]...)
+		}
+		fitting := pool.Fitting(c)
+		idx := pool.IndexFor(c)
+		view := &TaskView{Constraints: c}
+		for _, p := range policies {
+			var scan *resources.Node
+			if len(fitting) > 0 {
+				scan = p.Pick(view, fitting, nil)
+			}
+			indexed := p.PickIndexed(view, idx, nil)
+			if scan != indexed {
+				t.Fatalf("step %d %s: Pick = %v, PickIndexed = %v", step, p.Name(), nn(scan), nn(indexed))
+			}
+		}
+	}
+}
+
+func nn(n *resources.Node) string {
+	if n == nil {
+		return "<nil>"
+	}
+	return n.Name()
+}
+
+// TestP2CDeterministicAndNeverDeclines pins the two P2C properties the
+// engine relies on: same seed ⇒ same pick sequence (cross-backend
+// parity), and nil only when nothing fits (a P2C "miss" falls back to
+// the exact heap walk instead of reporting a capacity failure).
+func TestP2CDeterministicAndNeverDeclines(t *testing.T) {
+	c := resources.Constraints{Cores: 1}
+	run := func() []string {
+		pool := indexedPool(t, 8)
+		p := NewP2C(42)
+		idx := pool.IndexFor(c)
+		free := 0
+		for _, n := range pool.Nodes() {
+			free += n.FreeCores()
+		}
+		var picks []string
+		for i := 0; i < free; i++ {
+			n := p.PickIndexed(&TaskView{Constraints: c}, idx, nil)
+			if n == nil {
+				t.Fatalf("pick %d: nil with %d free cores", i, free-i)
+			}
+			if err := n.Reserve(c); err != nil {
+				t.Fatalf("pick %d: %s does not fit: %v", i, n.Name(), err)
+			}
+			picks = append(picks, n.Name())
+		}
+		return picks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d diverges across identically-seeded runs: %s vs %s", i, a[i], b[i])
+		}
+	}
+
+	// Saturate a tiny pool: P2C must keep placing until full, then nil.
+	pool := indexedPool(t, 2)
+	p := NewP2C(1)
+	idx := pool.IndexFor(c)
+	free := 0
+	for _, n := range pool.Nodes() {
+		free += n.FreeCores()
+	}
+	for i := 0; i < free; i++ {
+		n := p.PickIndexed(&TaskView{Constraints: c}, idx, nil)
+		if n == nil {
+			t.Fatalf("pick %d: nil with %d free cores", i, free-i)
+		}
+		if err := n.Reserve(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := p.PickIndexed(&TaskView{Constraints: c}, idx, nil); n != nil {
+		t.Fatalf("pick on a saturated pool returned %s, want nil", n.Name())
+	}
+}

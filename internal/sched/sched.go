@@ -8,6 +8,7 @@
 package sched
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/mlpredict"
@@ -54,6 +55,25 @@ type Policy interface {
 	Name() string
 	// Pick chooses a node, or nil to wait.
 	Pick(t *TaskView, fitting []*resources.Node, ctx *Context) *resources.Node
+}
+
+// IndexedPolicy is the capability split for index-backed placement: a
+// policy that picks through the pool's per-signature placement index
+// (resources.SigIndex) instead of scanning a materialized candidate
+// slice, turning an O(pool) decision into a heap walk or a sample.
+//
+// Contract: PickIndexed returns nil ONLY when no node currently fits the
+// task — indexed policies never decline a placeable task. The engine
+// treats nil as a signature-wide capacity failure and parks the whole
+// bucket; a policy that declines placements as a decision (WaitFast)
+// must stay on the legacy Pick path, where nil means "wait". Policies
+// must pick deterministically given the index state (and their own
+// seeded randomness), so index-backed and scan-backed runs agree.
+type IndexedPolicy interface {
+	Policy
+	// PickIndexed chooses among the signature's currently fitting nodes
+	// via the index, or returns nil when none fits.
+	PickIndexed(t *TaskView, idx resources.SigIndex, ctx *Context) *resources.Node
 }
 
 // Prioritizer is an optional Policy extension: the shared scheduling
@@ -135,7 +155,18 @@ func (FIFO) Pick(_ *TaskView, fitting []*resources.Node, _ *Context) *resources.
 	return fitting[0]
 }
 
-// MinLoad balances by busy-core fraction.
+var _ IndexedPolicy = FIFO{}
+
+// PickIndexed implements IndexedPolicy: the first fitting node in pool
+// insertion order, without materializing the candidate slice.
+func (FIFO) PickIndexed(t *TaskView, idx resources.SigIndex, _ *Context) *resources.Node {
+	return idx.FirstFitting(t.Constraints)
+}
+
+// MinLoad balances by busy-core fraction, breaking ties by node name so
+// the pick never depends on pool insertion order — the property that
+// lets the index-backed heap pick and the scan-backed slice pick agree
+// byte for byte.
 type MinLoad struct{}
 
 var _ Policy = MinLoad{}
@@ -148,11 +179,19 @@ func (MinLoad) Pick(_ *TaskView, fitting []*resources.Node, _ *Context) *resourc
 	best := fitting[0]
 	bestFrac := loadFrac(best)
 	for _, n := range fitting[1:] {
-		if f := loadFrac(n); f < bestFrac {
+		if f := loadFrac(n); f < bestFrac || (f == bestFrac && n.Name() < best.Name()) {
 			best, bestFrac = n, f
 		}
 	}
 	return best
+}
+
+var _ IndexedPolicy = MinLoad{}
+
+// PickIndexed implements IndexedPolicy: the signature's load heap yields
+// the (frac, name)-minimum fitting node in O(log n) instead of O(pool).
+func (MinLoad) PickIndexed(t *TaskView, idx resources.SigIndex, _ *Context) *resources.Node {
+	return idx.MinLoadFitting(t.Constraints)
 }
 
 func loadFrac(n *resources.Node) float64 {
@@ -161,6 +200,67 @@ func loadFrac(n *resources.Node) float64 {
 		return 1
 	}
 	return float64(n.BusyCores()) / float64(c)
+}
+
+// P2C is power-of-two-choices placement: sample two candidates, run the
+// less loaded one (ties by node name). The sampling is seeded and
+// deterministic given the placement sequence, so two backends driving
+// the same workload with the same seed place identically. With the
+// index it is an O(1) pick regardless of pool size; without it (legacy
+// Pick, used for multi-node groups and hinted re-picks) it samples the
+// fitting slice instead. The classic result applies: two random choices
+// keep the maximum load within O(log log n) of perfect balancing at a
+// fraction of MinLoad's bookkeeping.
+type P2C struct {
+	// Seed seeds the sampler (0 ⇒ 1).
+	Seed int64
+	rng  *rand.Rand
+}
+
+// NewP2C returns a power-of-two-choices policy with its own seeded
+// sampler. Policies are not safe for concurrent use by multiple engines;
+// give each engine its own instance.
+func NewP2C(seed int64) *P2C { return &P2C{Seed: seed} }
+
+var _ Policy = (*P2C)(nil)
+var _ IndexedPolicy = (*P2C)(nil)
+
+// Name implements Policy.
+func (*P2C) Name() string { return "p2c" }
+
+func (p *P2C) sampler() *rand.Rand {
+	if p.rng == nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		p.rng = rand.New(rand.NewSource(seed))
+	}
+	return p.rng
+}
+
+// Pick implements Policy over a materialized fitting slice.
+func (p *P2C) Pick(_ *TaskView, fitting []*resources.Node, _ *Context) *resources.Node {
+	if len(fitting) == 1 {
+		return fitting[0]
+	}
+	rng := p.sampler()
+	a := fitting[rng.Intn(len(fitting))]
+	b := fitting[rng.Intn(len(fitting))]
+	if a == b {
+		return a
+	}
+	fa, fb := loadFrac(a), loadFrac(b)
+	if fa < fb || (fa == fb && a.Name() < b.Name()) {
+		return a
+	}
+	return b
+}
+
+// PickIndexed implements IndexedPolicy: two samples from the signature's
+// undrained member set, exact-minimum fallback when neither fits.
+func (p *P2C) PickIndexed(t *TaskView, idx resources.SigIndex, _ *Context) *resources.Node {
+	return idx.PowerOfTwoPick(t.Constraints, p.sampler())
 }
 
 // Locality places each task where most of its input bytes already reside,
@@ -382,6 +482,8 @@ func ByName(name string) Policy {
 	switch name {
 	case "min-load":
 		return MinLoad{}
+	case "p2c":
+		return NewP2C(1)
 	case "locality":
 		return Locality{}
 	case "eft":
