@@ -25,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,8 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/trace"
 	"repro/internal/workloads"
+	wtrace "repro/internal/workloads/trace"
+	latreport "repro/internal/workloads/trace/report"
 )
 
 func main() {
@@ -82,10 +85,16 @@ func run() error {
 		scale         = flag.Bool("scale", false, "run the million-task scale benchmark instead of a workload (see internal/scalebench)")
 		scaleWidth    = flag.Int("scale-width", 0, "scale mode: independent chain count (0 = tasks/100)")
 		scaleInterval = flag.Duration("scale-interval", 2*time.Minute, "scale mode: virtual checkpoint interval")
-		benchOut      = flag.String("bench-out", "BENCH_scale.json", "scale mode: report output path")
+		benchOut      = flag.String("bench-out", "BENCH_scale.json", "scale/trace mode: report output path")
 		noProbe       = flag.Bool("no-mutex-probe", false, "scale mode: skip the concurrent contention probe")
+
+		traceFile = flag.String("trace", "", "replay this JSON-lines trace file instead of a workload")
+		traceGen  = flag.String("trace-gen", "", "generate and replay a temporal shape: poisson-burst | diurnal | heavy-tail")
+		traceOut  = flag.String("trace-out", "", "with -trace-gen: also write the generated trace to this file")
 	)
 	flag.Parse()
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if *pprofDir != "" {
 		stop, err := startProfiles(*pprofDir)
@@ -98,8 +107,6 @@ func run() error {
 	if *scale {
 		// Scale mode has its own defaults (a million tasks over a thousand
 		// nodes, delta persistence on); explicitly-passed flags override.
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		cfg := scalebench.Default()
 		if set["tasks"] {
 			cfg.Tasks = *tasks
@@ -230,6 +237,41 @@ func run() error {
 		tracer = trace.New(0)
 		cfg.Tracer = tracer
 	}
+	// Trace mode: replay a file or a freshly generated temporal shape.
+	// The trace carries its own arrival offsets (spec Release instants),
+	// durations and constraints; pool/policy/fault flags apply as usual.
+	var replayed *wtrace.Trace
+	workloadName := *workload
+	switch {
+	case *traceFile != "" && *traceGen != "":
+		return fmt.Errorf("-trace and -trace-gen are mutually exclusive")
+	case *traceFile != "":
+		replayed, err = wtrace.Load(*traceFile)
+		if err != nil {
+			return err
+		}
+		workloadName = fmt.Sprintf("trace %s", *traceFile)
+	case *traceGen != "":
+		gen := wtrace.DefaultGen(*traceGen)
+		gen.Seed = *seed
+		if set["tasks"] {
+			gen.Tasks = *tasks
+		}
+		replayed, err = wtrace.Generate(gen)
+		if err != nil {
+			return err
+		}
+		if *traceOut != "" {
+			if err := replayed.Save(*traceOut); err != nil {
+				return err
+			}
+		}
+		workloadName = fmt.Sprintf("trace-gen %s", *traceGen)
+	}
+	if replayed != nil {
+		return runReplay(cfg, replayed, workloadName, poolDesc, *policy, *benchOut, set["bench-out"])
+	}
+
 	switch *workload {
 	case "gwas":
 		g := workloads.DefaultGWAS()
@@ -320,6 +362,67 @@ func run() error {
 			fmt.Printf("  %-10s %10v over %d tasks (avg concurrency %.1f)\n",
 				u.Node, u.BusyTime.Round(time.Second), u.Tasks, u.AvgConcurrency)
 		}
+	}
+	return nil
+}
+
+// traceBench is the bench JSON a trace replay writes: run shape plus
+// the full latency summary (queue-wait percentiles, per-tenant
+// makespans) from internal/workloads/trace/report.
+type traceBench struct {
+	Schema         int               `json:"schema"`
+	Trace          string            `json:"trace"`
+	Shape          string            `json:"shape,omitempty"`
+	Seed           int64             `json:"seed,omitempty"`
+	Tasks          int               `json:"tasks"`
+	Nodes          int               `json:"nodes"`
+	Policy         string            `json:"policy"`
+	SimMakespanSec float64           `json:"sim_makespan_seconds"`
+	Latency        latreport.Summary `json:"latency"`
+}
+
+// runReplay replays a trace on the simulator and reports latency
+// percentiles overall and per tenant.
+func runReplay(cfg infra.Config, tr *wtrace.Trace, name, poolDesc, policy, benchPath string, writeBench bool) error {
+	specs := tr.Specs()
+	sim, err := infra.New(cfg, specs)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := sim.Run()
+	if err != nil {
+		return err
+	}
+	sum := latreport.Build(sim.Timings(), latreport.MetaOf(tr))
+
+	fmt.Printf("workload:        %s (%d tasks, arrival span %v)\n",
+		name, len(specs), tr.Span().Round(time.Second))
+	fmt.Printf("pool:            %s (%d cores)\n", poolDesc, cfg.Pool.TotalCores())
+	fmt.Printf("policy:          %s\n", policy)
+	fmt.Printf("makespan:        %v (simulated)\n", res.Makespan.Round(time.Second))
+	fmt.Printf("tasks completed: %d\n", res.TasksCompleted)
+	fmt.Printf("data moved:      %.2f GB over %v\n", float64(res.BytesMoved)/1e9, res.TransferTime.Round(time.Second))
+	fmt.Printf("utilisation:     %.1f%%\n", res.Utilization*100)
+	fmt.Printf("wall time:       %v\n", time.Since(start).Round(time.Millisecond))
+	sum.WriteText(os.Stdout)
+
+	if writeBench {
+		doc := traceBench{
+			Schema: 1,
+			Trace:  tr.Header.Name, Shape: tr.Header.Shape, Seed: tr.Header.Seed,
+			Tasks: len(specs), Nodes: cfg.Pool.Len(), Policy: policy,
+			SimMakespanSec: res.Makespan.Seconds(),
+			Latency:        sum,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report:          %s\n", benchPath)
 	}
 	return nil
 }

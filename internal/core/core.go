@@ -907,6 +907,10 @@ func (rt *Runtime) Stats() Stats {
 // transfer accounting) — comparable one-to-one with the simulator's.
 func (rt *Runtime) EngineStats() engine.Stats { return rt.eng.Stats() }
 
+// Timings exposes the engine's per-task latency milestones
+// (submit→ready→start→done on the wall clock), in registration order.
+func (rt *Runtime) Timings() []engine.Timing { return rt.eng.Timings() }
+
 // FailNode implements the faults.Injector crash for the live runtime: the
 // engine removes the node, kills its running tasks (their placements'
 // epochs are invalidated, so their goroutines' eventual completions are

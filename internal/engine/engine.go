@@ -146,6 +146,13 @@ type Task struct {
 	epoch      int                // placement counter
 	nodes      []string           // reserved node names while Running
 	started    time.Duration
+	// Latency milestones on the engine clock, first transition only (a
+	// recovery re-run never rewrites them). -1 = not reached, because
+	// t=0 is a legitimate virtual timestamp.
+	submitAt   time.Duration
+	readyAt    time.Duration
+	firstStart time.Duration
+	doneAt     time.Duration
 	availKeys  []transfer.Key // unavailable inputs this task is parked on
 	availNeed  string         // availability-recompute hint: the primary must reach this node
 }
@@ -448,6 +455,43 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
+// Timing is one task's latency milestones on the engine clock. Every
+// field after Submit is the FIRST time the transition happened — a
+// recovery re-execution never rewrites them — and is -1 when the task
+// has not reached that state. Queue wait is Start−Ready; end-to-end
+// latency is Done−Submit.
+type Timing struct {
+	// ID is the task's graph-unique ID; Class its registered type name.
+	ID    int64
+	Class string
+	// Submit is when the task entered the engine (Add/AddBatch).
+	Submit time.Duration
+	// Ready is when its last dependency (or synthetic hold) cleared.
+	Ready time.Duration
+	// Start is when it was first placed on a node.
+	Start time.Duration
+	// Done is when it first completed.
+	Done time.Duration
+}
+
+// Timings returns the latency milestones of every registered task, in
+// registration order. The slice is freshly allocated; call it after the
+// run drains (or at any quiescent point) for a consistent view.
+func (e *Engine) Timings() []Timing {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Timing, 0, len(e.order))
+	for _, id := range e.order {
+		t := e.tasks[id]
+		out = append(out, Timing{
+			ID: t.ID, Class: t.Class,
+			Submit: t.submitAt, Ready: t.readyAt,
+			Start: t.firstStart, Done: t.doneAt,
+		})
+	}
+	return out
+}
+
 // Add registers a task. producers lists the tasks it must wait for (from
 // the access processor); producers already completed — or unknown to the
 // engine — count as satisfied. holds adds synthetic dependencies cleared
@@ -481,6 +525,8 @@ func (e *Engine) AddBatch(ts []*Task, producers [][]deps.TaskID) bool {
 func (e *Engine) addLocked(t *Task, producers []deps.TaskID, holds int) bool {
 	t.sig = t.Constraints.Signature()
 	t.state = Pending
+	t.submitAt = e.cfg.Clock.Now()
+	t.readyAt, t.firstStart, t.doneAt = -1, -1, -1
 	e.added = append(e.added, t.ID)
 	e.markDirtyLocked(t)
 	for _, d := range producers {
@@ -529,6 +575,9 @@ func (e *Engine) ReleaseHold(id int64) bool {
 // re-admits a refilled bucket into the wave's candidate view.
 func (e *Engine) pushReadyLocked(t *Task) {
 	e.markDirtyLocked(t)
+	if t.readyAt < 0 {
+		t.readyAt = e.cfg.Clock.Now()
+	}
 	if e.prio != nil {
 		t.prio = e.prio.Priority(e.viewLocked(t), e.cfg.SchedContext)
 	}
@@ -903,6 +952,9 @@ func (e *Engine) placeLocked(t *Task) (Placement, placeOutcome) {
 
 	t.state = Running
 	t.started = e.cfg.Clock.Now()
+	if t.firstStart < 0 {
+		t.firstStart = t.started
+	}
 	t.epoch++
 	e.markDirtyLocked(t)
 	t.nodes = make([]string, len(group))
@@ -1002,6 +1054,9 @@ func (e *Engine) completeLocked(id int64, epoch int, failed bool) (Completion, b
 
 	c.First = !t.completed
 	t.completed = true
+	if t.doneAt < 0 {
+		t.doneAt = e.cfg.Clock.Now()
+	}
 	t.state = Done
 	t.nodes = nil
 	e.markDirtyLocked(t)

@@ -657,6 +657,11 @@ func (s *Sim) Run() (Result, error) {
 	return s.result, s.err
 }
 
+// Timings exposes the engine's per-task latency milestones
+// (submit→ready→start→done in virtual time), in registration order.
+// Call it after Run for a consistent view.
+func (s *Sim) Timings() []engine.Timing { return s.eng.Timings() }
+
 // FailNode implements faults.Injector: the engine kills, deregisters and
 // resubmits; the simulator only keeps score. Faults targeting unknown or
 // already-dead nodes are recorded as ignored in the trace instead of

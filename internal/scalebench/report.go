@@ -10,6 +10,8 @@ import (
 	"os"
 	"sort"
 	"time"
+
+	latreport "repro/internal/workloads/trace/report"
 )
 
 // Quantiles summarises a latency sample set. Units are carried by the
@@ -104,6 +106,7 @@ type Report struct {
 	Config        ConfigOut        `json:"config"`
 	Run           RunReport        `json:"run"`
 	WaveLatencyUS Quantiles        `json:"wave_latency_us"`
+	Latency       *latreport.Summary `json:"latency,omitempty"`
 	Checkpoint    CkptReport       `json:"checkpoint"`
 	Restore       *RestoreReport   `json:"restore,omitempty"`
 	Placement     *PlacementReport `json:"placement,omitempty"`
@@ -167,6 +170,12 @@ func newReport(cfg Config, h *harness, buildWall, runWall time.Duration) *Report
 		waveUS[i] = float64(ns) / 1e3
 	}
 	rep.WaveLatencyUS = quantiles(waveUS)
+
+	// Per-task latency percentiles over the virtual clock: queue wait
+	// (ready→start) and end-to-end. The campaign has no tenant dimension,
+	// so the per-tenant breakdown stays empty here; trace replays fill it.
+	lat := latreport.Build(h.eng.Timings(), nil)
+	rep.Latency = &lat
 
 	rep.Checkpoint = CkptReport{Captures: len(h.captures), Skipped: h.skipped}
 	if len(h.captures) > 0 {

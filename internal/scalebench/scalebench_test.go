@@ -156,6 +156,22 @@ func TestScaleSmoke(t *testing.T) {
 			rep.Placement.IndexedPerSec, rep.Placement.ScanPerSec, rep.Placement.IndexedOverScan,
 			base.Placement.IndexedPerSec, pfloor)
 	}
+	if base.Latency != nil {
+		// p99 queue wait is measured on the virtual clock, so it tracks
+		// scheduling decisions, not host speed: a regression here means the
+		// engine started leaving runnable work queued longer.
+		if rep.Latency == nil {
+			t.Fatal("baseline has a latency section but this run reports none")
+		}
+		ceil := 1.2 * base.Latency.QueueWait.P99
+		if rep.Latency.QueueWait.P99 > ceil {
+			t.Fatalf("p99 queue wait regressed >20%%: %.1fms vs baseline %.1fms (ceiling %.1fms)",
+				rep.Latency.QueueWait.P99, base.Latency.QueueWait.P99, ceil)
+		}
+		t.Logf("queue wait p50 %.1fms p99 %.1fms (baseline p99 %.1fms, ceiling %.1fms)",
+			rep.Latency.QueueWait.P50, rep.Latency.QueueWait.P99,
+			base.Latency.QueueWait.P99, ceil)
+	}
 	t.Logf("throughput %.0f tasks/s (baseline %.0f, floor %.0f); delta %.0f× cheaper; restore %.0fms",
 		rep.Run.TasksPerSec, base.Run.TasksPerSec, floor,
 		rep.Checkpoint.FullOverDeltaP50, rep.Restore.LatestMS)

@@ -1,0 +1,27 @@
+package trace
+
+import (
+	"bytes"
+	_ "embed"
+)
+
+// conformanceRaw is the committed replay trace the backend-conformance
+// suite uses: 18 tasks in 6 three-task cohorts (one writer fanning out
+// to two readers each) over two tenants, bursty offsets spanning 640ms
+// — small enough to serialise on the single conformance core, shaped
+// enough to exercise delayed release, in-cohort dependencies and tenant
+// tags on every sweep that iterates workloads.ConformanceSuite.
+//
+//go:embed testdata/conformance.trace
+var conformanceRaw []byte
+
+// Conformance returns the committed conformance trace. The file is
+// embedded and covered by tests, so a parse failure is a build defect —
+// it panics rather than making every call site thread an error.
+func Conformance() *Trace {
+	t, err := Read(bytes.NewReader(conformanceRaw))
+	if err != nil {
+		panic("trace: embedded conformance trace: " + err.Error())
+	}
+	return t
+}

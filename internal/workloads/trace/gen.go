@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Shapes the generator knows. Each is a temporal arrival envelope; the
+// generator samples it window by window with Poisson counts, so the
+// emitted trace is a concrete draw from the shape that can be
+// committed, diffed and replayed.
+const (
+	// ShapePoissonBurst is a flat baseline punctuated by periodic bursts
+	// (BurstFactor× the baseline rate for BurstLen out of every
+	// BurstEvery) — sensor flushes, cron fan-outs.
+	ShapePoissonBurst = "poisson-burst"
+	// ShapeDiurnal is a sum of sinusoidal periods (day + half-day by
+	// default) over a baseline — user-facing daily traffic.
+	ShapeDiurnal = "diurnal"
+	// ShapeHeavyTail is a flat arrival rate with log-normal task
+	// durations (SigmaLog) — most tasks short, a fat tail of stragglers
+	// that exercises stealing and tier guards.
+	ShapeHeavyTail = "heavy-tail"
+)
+
+// GenConfig parameterises Generate. The zero value is not runnable; use
+// DefaultGen(shape) and override.
+type GenConfig struct {
+	// Shape selects the arrival envelope (Shape* constants).
+	Shape string
+	// Tasks is the expected total task count (the realised count is a
+	// Poisson draw per window around the envelope's allocation).
+	Tasks int
+	// Horizon is the arrival span the envelope covers.
+	Horizon time.Duration
+	// Windows is the envelope sampling resolution (default 24).
+	Windows int
+	// Seed drives every random draw; same config + seed = same trace.
+	Seed int64
+
+	// MeanDur is the mean task duration. With SigmaLog zero, durations
+	// are constant; otherwise log-normal with that log-space sigma and
+	// mean preserved.
+	MeanDur  time.Duration
+	SigmaLog float64
+
+	// BurstEvery / BurstLen / BurstFactor shape ShapePoissonBurst.
+	BurstEvery  time.Duration
+	BurstLen    time.Duration
+	BurstFactor float64
+
+	// Periods are ShapeDiurnal's sinusoid periods (amplitude falls off
+	// per component).
+	Periods []time.Duration
+
+	// Tenants spreads cohorts round-robin-with-jitter over this many
+	// tenant tags ("tenant-0"…). 0 or 1 = single tenant.
+	Tenants int
+	// CohortSize groups arrivals: each arrival event is a cohort of this
+	// many tasks sharing a submit offset and tenant (default 1). With
+	// CohortDeps, the cohort's first task writes a datum the rest read —
+	// a fan-out dependency inside every cohort.
+	CohortSize int
+	CohortDeps bool
+	// OutputBytes sizes each written datum (0 = negligible).
+	OutputBytes int64
+	// Cores is the per-task core requirement (0 ⇒ 1).
+	Cores int
+}
+
+// DefaultGen returns a runnable configuration for a shape.
+func DefaultGen(shape string) GenConfig {
+	cfg := GenConfig{
+		Shape:      shape,
+		Tasks:      2000,
+		Horizon:    time.Hour,
+		Windows:    24,
+		Seed:       1,
+		MeanDur:    30 * time.Second,
+		CohortSize: 1,
+		Tenants:    4,
+	}
+	switch shape {
+	case ShapePoissonBurst:
+		cfg.BurstEvery = 10 * time.Minute
+		cfg.BurstLen = time.Minute
+		cfg.BurstFactor = 8
+	case ShapeDiurnal:
+		cfg.Horizon = 24 * time.Hour
+		cfg.Windows = 48
+		cfg.Periods = []time.Duration{24 * time.Hour, 12 * time.Hour}
+	case ShapeHeavyTail:
+		cfg.SigmaLog = 1.5
+	}
+	return cfg
+}
+
+// Envelope is the shape's relative arrival rate at offset t — unitless;
+// Generate normalises it so the expected total equals Tasks. Exposed so
+// per-window tests can assert realised counts against it.
+func (cfg GenConfig) Envelope(t time.Duration) float64 {
+	switch cfg.Shape {
+	case ShapePoissonBurst:
+		if cfg.BurstEvery > 0 && t%cfg.BurstEvery < cfg.BurstLen {
+			return cfg.BurstFactor
+		}
+		return 1
+	case ShapeDiurnal:
+		v := 1.0
+		amp := 0.8
+		for _, p := range cfg.Periods {
+			if p <= 0 {
+				continue
+			}
+			// Phase puts the first period's trough at t=0 (quiet night
+			// start), like a day that begins at midnight.
+			v += amp * math.Sin(2*math.Pi*float64(t)/float64(p)-math.Pi/2)
+			amp /= 2
+		}
+		if v < 0.05 {
+			v = 0.05
+		}
+		return v
+	default: // heavy-tail and anything rate-flat
+		return 1
+	}
+}
+
+// ExpectedPerWindow returns the expected task count of each of the
+// Windows windows after normalisation — the envelope integrated per
+// window and scaled so the total is Tasks.
+func (cfg GenConfig) ExpectedPerWindow() []float64 {
+	n := cfg.Windows
+	if n <= 0 {
+		n = 24
+	}
+	w := make([]float64, n)
+	width := cfg.Horizon / time.Duration(n)
+	var sum float64
+	for i := range w {
+		// Integrate the envelope over the window with a few samples, so
+		// bursts narrower than a window still weigh in proportionally.
+		const samples = 16
+		var acc float64
+		for s := 0; s < samples; s++ {
+			at := time.Duration(i)*width + width*time.Duration(s)/samples + width/(2*samples)
+			acc += cfg.Envelope(at)
+		}
+		w[i] = acc / samples
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] *= float64(cfg.Tasks) / sum
+	}
+	return w
+}
+
+// Generate emits a trace: per window, a Poisson number of cohorts with
+// uniform offsets inside the window; per cohort, CohortSize tasks
+// sharing the offset and a tenant tag; per task, a (possibly
+// log-normal) duration. Deterministic for a given config.
+func Generate(cfg GenConfig) (*Trace, error) {
+	switch cfg.Shape {
+	case ShapePoissonBurst, ShapeDiurnal, ShapeHeavyTail:
+	default:
+		return nil, fmt.Errorf("trace: unknown shape %q (want %s, %s or %s)",
+			cfg.Shape, ShapePoissonBurst, ShapeDiurnal, ShapeHeavyTail)
+	}
+	if cfg.Tasks <= 0 || cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("trace: generator needs Tasks and Horizon > 0")
+	}
+	cohortSize := cfg.CohortSize
+	if cohortSize <= 0 {
+		cohortSize = 1
+	}
+	windows := cfg.Windows
+	if windows <= 0 {
+		windows = 24
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	expected := cfg.ExpectedPerWindow()
+	width := cfg.Horizon / time.Duration(windows)
+
+	t := &Trace{Header: Header{
+		Version: FormatVersion,
+		Name:    fmt.Sprintf("%s-%d", cfg.Shape, cfg.Tasks),
+		Shape:   cfg.Shape,
+		Seed:    cfg.Seed,
+	}}
+	var nextData int64 = 1
+	cohortN := 0
+	for wi := 0; wi < windows; wi++ {
+		lambda := expected[wi] / float64(cohortSize)
+		count := poisson(rng, lambda)
+		for c := 0; c < count; c++ {
+			off := time.Duration(wi)*width + time.Duration(rng.Int63n(int64(width)))
+			tenant := ""
+			if cfg.Tenants > 1 {
+				tenant = fmt.Sprintf("tenant-%d", rng.Intn(cfg.Tenants))
+			}
+			var rootDatum int64
+			for m := 0; m < cohortSize; m++ {
+				rec := Record{
+					// IDs are assigned after the sort; 0 for now.
+					SubmitNS: int64(off),
+					Class:    cfg.Shape,
+					Tenant:   tenant,
+					EstNS:    int64(cfg.MeanDur),
+					DurNS:    int64(cfg.drawDur(rng)),
+					Cores:    cfg.Cores,
+				}
+				if cfg.CohortDeps && cohortSize > 1 {
+					if m == 0 {
+						rootDatum = nextData
+						nextData++
+						rec.Writes = []WriteRef{{Data: rootDatum, Bytes: cfg.OutputBytes}}
+					} else {
+						rec.Reads = []int64{rootDatum}
+					}
+				} else if cfg.OutputBytes > 0 {
+					rec.Writes = []WriteRef{{Data: nextData, Bytes: cfg.OutputBytes}}
+					nextData++
+				}
+				t.Tasks = append(t.Tasks, rec)
+			}
+			cohortN++
+		}
+	}
+	// Canonical order, then IDs in that order so files are deterministic
+	// and producers precede their cohort's readers (same offset, lower
+	// ID sorts first and the root was appended first — SliceStable).
+	t.Sort()
+	for i := range t.Tasks {
+		t.Tasks[i].ID = int64(i + 1)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: generated trace invalid: %w", err)
+	}
+	return t, nil
+}
+
+// drawDur samples one task duration: constant MeanDur, or log-normal
+// with log-space sigma SigmaLog and the same mean.
+func (cfg GenConfig) drawDur(rng *rand.Rand) time.Duration {
+	if cfg.MeanDur <= 0 {
+		return 0
+	}
+	if cfg.SigmaLog <= 0 {
+		return cfg.MeanDur
+	}
+	mu := math.Log(float64(cfg.MeanDur)) - cfg.SigmaLog*cfg.SigmaLog/2
+	d := math.Exp(mu + cfg.SigmaLog*rng.NormFloat64())
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// poisson draws a Poisson-distributed count. Knuth's product method in
+// chunks of λ≤30, so exp(-λ) never underflows for the large per-window
+// rates big traces use.
+func poisson(rng *rand.Rand, lambda float64) int {
+	n := 0
+	for lambda > 0 {
+		chunk := lambda
+		if chunk > 30 {
+			chunk = 30
+		}
+		l := math.Exp(-chunk)
+		k, p := 0, 1.0
+		for {
+			p *= rng.Float64()
+			if p < l {
+				break
+			}
+			k++
+		}
+		n += k
+		lambda -= chunk
+	}
+	return n
+}

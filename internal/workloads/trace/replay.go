@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/deps"
+	"repro/internal/engine/faults"
+	"repro/internal/infra"
+)
+
+// Specs converts the trace into simulator task specs: each record's
+// submit offset becomes the spec's Release instant, so the virtual
+// clock holds the task invisible until its trace timestamp and the
+// whole arrival process replays in virtual time. Records are converted
+// in file order (Validate guarantees producers precede consumers, which
+// is what spec-order registration requires).
+func (t *Trace) Specs() []infra.TaskSpec {
+	specs := make([]infra.TaskSpec, len(t.Tasks))
+	for i, r := range t.Tasks {
+		spec := infra.TaskSpec{
+			ID:          r.ID,
+			Class:       r.Class,
+			Duration:    r.Duration(),
+			Constraints: r.Constraints(),
+			Accesses:    r.accesses(),
+			Release:     r.Submit(),
+		}
+		if len(r.Writes) > 0 {
+			spec.OutputBytes = make(map[deps.DataID]int64, len(r.Writes))
+			for _, w := range r.Writes {
+				spec.OutputBytes[deps.DataID(w.Data)] = w.Bytes
+			}
+		}
+		specs[i] = spec
+	}
+	return specs
+}
+
+// LiveOptions tunes ReplayLive.
+type LiveOptions struct {
+	// Timer schedules cohort releases at their trace offsets. A
+	// faults.WallTimer replays in real time; any Timer works (tests may
+	// drive a virtual one). Nil = release everything immediately, in
+	// trace order.
+	Timer faults.Timer
+	// Speedup divides offsets (and sleeps, when Execute is set): 60
+	// replays an hour-long trace in a minute. 0 = 1 (real time).
+	Speedup float64
+	// Execute makes each task body sleep its record's (scaled) actual
+	// duration through core.SlowSleep, so live runs occupy cores the way
+	// the traced workload did. Off, bodies return instantly — the right
+	// setting for parity tests, which compare scheduling decisions, not
+	// wall time.
+	Execute bool
+}
+
+// ReplayLive drives a live runtime with the trace: one task definition
+// per record (constraints + duration estimate from the trace), data
+// handles per datum, and one batch submission per cohort of records
+// sharing a submit offset, released at that offset on the timer.
+//
+// Cohorts are chained — cohort k+1 is armed only after cohort k's batch
+// is submitted — because wall timers fire callbacks on independent
+// goroutines: chaining is what guarantees the engine sees cohorts in
+// trace order even when compressed offsets collide. The call blocks
+// until every cohort is submitted, then returns the futures in record
+// order; the caller decides whether to Barrier.
+func ReplayLive(rt *core.Runtime, t *Trace, o LiveOptions) ([]*core.Future, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	speed := o.Speedup
+	if speed <= 0 {
+		speed = 1
+	}
+
+	type cohort struct {
+		at   time.Duration
+		recs []Record
+	}
+	var cohorts []cohort
+	sorted := &Trace{Header: t.Header, Tasks: append([]Record(nil), t.Tasks...)}
+	sorted.Sort()
+	for _, r := range sorted.Tasks {
+		if n := len(cohorts); n > 0 && cohorts[n-1].at == r.Submit() {
+			cohorts[n-1].recs = append(cohorts[n-1].recs, r)
+			continue
+		}
+		cohorts = append(cohorts, cohort{at: r.Submit(), recs: []Record{r}})
+	}
+
+	handles := map[int64]*core.Handle{}
+	h := func(d int64) *core.Handle {
+		if handles[d] == nil {
+			handles[d] = rt.NewData()
+		}
+		return handles[d]
+	}
+	// Register defs and pre-build each cohort's batch request up front,
+	// so the timer callbacks do nothing but submit.
+	reqs := make([][]core.TaskReq, len(cohorts))
+	for ci, c := range cohorts {
+		reqs[ci] = make([]core.TaskReq, len(c.recs))
+		for ri, r := range c.recs {
+			name := fmt.Sprintf("trace/%d", r.ID)
+			writes := len(r.Writes)
+			dur := time.Duration(float64(r.DurNS) / speed)
+			execute := o.Execute
+			err := rt.Register(core.TaskDef{
+				Name:        name,
+				Constraints: r.Constraints(),
+				EstDuration: time.Duration(r.EstNS),
+				Fn: func(ctx context.Context, _ []any) ([]any, error) {
+					if execute && dur > 0 {
+						core.SlowSleep(ctx, dur)
+					}
+					out := make([]any, writes)
+					for i := range out {
+						out[i] = 1
+					}
+					return out, nil
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			params := make([]core.Param, 0, len(r.Reads)+len(r.Writes))
+			for _, d := range r.Reads {
+				params = append(params, core.Param{Handle: h(d), Dir: deps.In})
+			}
+			for _, w := range r.Writes {
+				params = append(params, core.Param{Handle: h(w.Data), Dir: deps.Out, Size: w.Bytes})
+			}
+			reqs[ci][ri] = core.TaskReq{Name: name, Params: params}
+		}
+	}
+
+	var futs []*core.Future
+	if o.Timer == nil {
+		for _, batch := range reqs {
+			fs, err := rt.SubmitAll(batch)
+			if err != nil {
+				return nil, err
+			}
+			futs = append(futs, fs...)
+		}
+		return futs, nil
+	}
+
+	done := make(chan error, 1)
+	var step func(i int)
+	step = func(i int) {
+		if i == len(cohorts) {
+			done <- nil
+			return
+		}
+		o.Timer.At(time.Duration(float64(cohorts[i].at)/speed), func() {
+			fs, err := rt.SubmitAll(reqs[i])
+			if err != nil {
+				done <- err
+				return
+			}
+			futs = append(futs, fs...)
+			step(i + 1)
+		})
+	}
+	step(0)
+	if err := <-done; err != nil {
+		return nil, err
+	}
+	return futs, nil
+}

@@ -1,0 +1,81 @@
+package trace_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/infra"
+	"repro/internal/resources"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	wtrace "repro/internal/workloads/trace"
+	latreport "repro/internal/workloads/trace/report"
+)
+
+// TestBurstyReplaySmoke10k replays a generated 10k-task Poisson-burst
+// trace end to end on the simulator and checks the latency report is
+// complete and self-consistent. This is the ordinary-suite scale smoke
+// for the replay path; -short (the race job) trims it to 2k tasks.
+func TestBurstyReplaySmoke10k(t *testing.T) {
+	cfg := wtrace.DefaultGen(wtrace.ShapePoissonBurst)
+	cfg.Tasks = 10_000
+	if testing.Short() {
+		cfg.Tasks = 2_000
+	}
+	cfg.Seed = 42
+	tr, err := wtrace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := resources.NewPool()
+	for i := 0; i < 32; i++ {
+		_ = pool.Add(resources.NewNode(fmt.Sprintf("bn%d", i), resources.Description{
+			Cores: 8, MemoryMB: 64_000, SpeedFactor: 1, Class: resources.HPC,
+		}))
+	}
+	sim, err := infra.New(infra.Config{
+		Pool:   pool,
+		Net:    simnet.New(simnet.Link{BandwidthMBps: 1000}),
+		Policy: sched.MinLoad{},
+	}, tr.Specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksCompleted != len(tr.Tasks) {
+		t.Fatalf("completed %d of %d tasks", res.TasksCompleted, len(tr.Tasks))
+	}
+
+	sum := latreport.Build(sim.Timings(), latreport.MetaOf(tr))
+	if sum.Completed != len(tr.Tasks) {
+		t.Fatalf("latency report covers %d tasks, want %d", sum.Completed, len(tr.Tasks))
+	}
+	if sum.QueueWait.Count != len(tr.Tasks) || sum.QueueWait.P50 < 0 || sum.QueueWait.P99 < sum.QueueWait.P50 {
+		t.Fatalf("queue wait distribution malformed: %+v", sum.QueueWait)
+	}
+	// End-to-end includes execution, so it dominates queue wait, and the
+	// makespan covers at least the trace's arrival span.
+	if sum.EndToEnd.P50 < float64(cfg.MeanDur)/float64(time.Millisecond)/10 {
+		t.Fatalf("end-to-end p50 %.1fms implausibly small for mean duration %v", sum.EndToEnd.P50, cfg.MeanDur)
+	}
+	if span := float64(tr.Span()) / float64(time.Millisecond); sum.MakespanMS < span {
+		t.Fatalf("makespan %.1fms below the trace arrival span %.1fms", sum.MakespanMS, span)
+	}
+	if len(sum.Tenants) != cfg.Tenants {
+		t.Fatalf("report has %d tenants, want %d", len(sum.Tenants), cfg.Tenants)
+	}
+	var tenantTasks int
+	for _, ts := range sum.Tenants {
+		tenantTasks += ts.Tasks
+	}
+	if tenantTasks != len(tr.Tasks) {
+		t.Fatalf("tenant sections cover %d tasks, want %d", tenantTasks, len(tr.Tasks))
+	}
+	t.Logf("replayed %d tasks: queue wait p99 %.1fms, makespan %.1fs",
+		len(tr.Tasks), sum.QueueWait.P99, sum.MakespanMS/1000)
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/deps"
 	"repro/internal/infra"
 	"repro/internal/resources"
+	wtrace "repro/internal/workloads/trace"
 )
 
 // GWASConfig parameterises the GUIDANCE-like genomics workflow. The paper:
@@ -552,6 +553,10 @@ func ConformanceSuite() []ConformanceCase {
 		// Wide enough that a mid-run halt in the checkpoint round-trip
 		// sweep lands after at least one every-3 snapshot.
 		{Name: "partition-pipeline", Specs: PartitionPipeline(6, 2*time.Second, 3*time.Second, 2e6, 0), Node: cloud1},
+		// Replayed traffic: the committed trace releases cohorts at their
+		// recorded offsets (all inside the conformance gate's 1s, so both
+		// backends still start from the same fully-queued state).
+		{Name: "trace-replay", Specs: wtrace.Conformance().Specs(), Node: hpc1},
 	}
 }
 
