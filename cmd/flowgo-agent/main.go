@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/obsv"
 	"repro/internal/storage/dataclay"
 )
 
@@ -38,10 +39,11 @@ func main() {
 
 func run() error {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:8080", "listen address")
-		name  = flag.String("name", "", "agent name (default: listen address)")
-		cores = flag.Int("cores", 2, "local worker count")
-		peers = flag.String("peers", "", "comma-separated peer base URLs")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		name        = flag.String("name", "", "agent name (default: listen address)")
+		cores       = flag.Int("cores", 2, "local worker count")
+		peers       = flag.String("peers", "", "comma-separated peer base URLs")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -58,6 +60,9 @@ func run() error {
 		Registry: demoRegistry(),
 		Store:    store,
 	}
+	if *metricsAddr != "" {
+		cfg.Metrics = obsv.NewRegistry()
+	}
 	if *peers != "" {
 		cfg.Peers = strings.Split(*peers, ",")
 	}
@@ -68,6 +73,14 @@ func run() error {
 	defer a.Close()
 	fmt.Printf("agent %s listening on %s (cores=%d peers=%d)\n",
 		a.Name(), a.URL(), *cores, len(cfg.Peers))
+	if *metricsAddr != "" {
+		bound, shutdown, err := obsv.Serve(*metricsAddr, cfg.Metrics)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = shutdown() }()
+		fmt.Printf("metrics on http://%s/metrics (pprof on /debug/pprof/)\n", bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -43,6 +43,7 @@ import (
 	"repro/internal/engine/faults"
 	"repro/internal/infra"
 	"repro/internal/mlpredict"
+	"repro/internal/obsv"
 	"repro/internal/resources"
 	"repro/internal/scalebench"
 	"repro/internal/sched"
@@ -91,6 +92,11 @@ func run() error {
 		traceFile = flag.String("trace", "", "replay this JSON-lines trace file instead of a workload")
 		traceGen  = flag.String("trace-gen", "", "generate and replay a temporal shape: poisson-burst | diurnal | heavy-tail")
 		traceOut  = flag.String("trace-out", "", "with -trace-gen: also write the generated trace to this file")
+
+		timelineOut  = flag.String("timeline-out", "", "write a Chrome trace-event JSON timeline (load at ui.perfetto.dev) to this file")
+		metricsEvery = flag.Duration("metrics-every", 0, "sample the metrics registry at this virtual-clock interval")
+		metricsOut   = flag.String("metrics-out", "", "write the sampled metrics time-series (deterministic text) to this file; implies -metrics-every 10s if unset")
+		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address while the run lasts")
 	)
 	flag.Parse()
 	set := map[string]bool{}
@@ -102,6 +108,24 @@ func run() error {
 			return err
 		}
 		defer stop()
+	}
+
+	// One registry feeds every consumer: the live /metrics endpoint, the
+	// virtual-clock sampler, and the scale report's time-series section.
+	if *metricsOut != "" && *metricsEvery == 0 {
+		*metricsEvery = 10 * time.Second
+	}
+	var reg *obsv.Registry
+	if *metricsAddr != "" || *metricsEvery > 0 {
+		reg = obsv.NewRegistry()
+	}
+	if *metricsAddr != "" {
+		bound, shutdown, err := obsv.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = shutdown() }()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof on /debug/pprof/)\n", bound)
 	}
 
 	if *scale {
@@ -126,6 +150,8 @@ func run() error {
 		cfg.MutexProbe = !*noProbe
 		cfg.NoIndex = *noIndex
 		cfg.Dir = *ckptDir
+		cfg.Metrics = reg
+		cfg.SampleEvery = *metricsEvery
 		tempDir := !set["checkpoint-dir"]
 		if tempDir {
 			dir, err := os.MkdirTemp("", "flowgo-scale-ckpt")
@@ -233,9 +259,15 @@ func run() error {
 		cfg.Predictor = mlpredict.NewPredictor(10 * time.Second)
 	}
 	var tracer *trace.Tracer
-	if *gantt {
+	if *gantt || *timelineOut != "" {
 		tracer = trace.New(0)
 		cfg.Tracer = tracer
+	}
+	// Metrics sampling on the virtual clock: the sampled series is
+	// deterministic run-to-run (checkpoint capture wall time excepted).
+	if reg != nil {
+		cfg.Metrics = reg
+		cfg.SampleEvery = *metricsEvery
 	}
 	// Trace mode: replay a file or a freshly generated temporal shape.
 	// The trace carries its own arrival offsets (spec Release instants),
@@ -269,7 +301,11 @@ func run() error {
 		workloadName = fmt.Sprintf("trace-gen %s", *traceGen)
 	}
 	if replayed != nil {
-		return runReplay(cfg, replayed, workloadName, poolDesc, *policy, *benchOut, set["bench-out"])
+		sim, err := runReplay(cfg, replayed, workloadName, poolDesc, *policy, *benchOut, set["bench-out"])
+		if err != nil {
+			return err
+		}
+		return writeObsOutputs(tracer, sim, *timelineOut, *metricsOut)
 	}
 
 	switch *workload {
@@ -354,7 +390,7 @@ func run() error {
 	fmt.Printf("energy:          %.0f J active, %.0f J total\n", float64(res.ActiveEnergy), float64(res.TotalEnergy))
 	fmt.Printf("dep edges:       %d RAW\n", res.DepEdges.RAW)
 	fmt.Printf("wall time:       %v\n", time.Since(start).Round(time.Millisecond))
-	if tracer != nil {
+	if *gantt && tracer != nil {
 		spans := trace.Timeline(tracer.Events())
 		fmt.Printf("\nGantt (virtual time, digit = concurrent tasks):\n%s", trace.RenderASCII(spans, 72))
 		fmt.Println("per-node busy time:")
@@ -362,6 +398,41 @@ func run() error {
 			fmt.Printf("  %-10s %10v over %d tasks (avg concurrency %.1f)\n",
 				u.Node, u.BusyTime.Round(time.Second), u.Tasks, u.AvgConcurrency)
 		}
+	}
+	return writeObsOutputs(tracer, sim, *timelineOut, *metricsOut)
+}
+
+// writeObsOutputs flushes the observability artefacts requested on the
+// command line: the Perfetto-loadable Chrome trace and the sampled
+// metrics time-series (deterministic text, suitable for diffing runs).
+func writeObsOutputs(tracer *trace.Tracer, sim *infra.Sim, timelineOut, metricsOut string) error {
+	if timelineOut != "" && tracer != nil {
+		f, err := os.Create(timelineOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.ExportChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("timeline:        %s (load at https://ui.perfetto.dev)\n", timelineOut)
+	}
+	if metricsOut != "" && sim != nil && sim.Sampler() != nil {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := sim.Sampler().WriteText(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics:         %s\n", metricsOut)
 	}
 	return nil
 }
@@ -382,17 +453,18 @@ type traceBench struct {
 }
 
 // runReplay replays a trace on the simulator and reports latency
-// percentiles overall and per tenant.
-func runReplay(cfg infra.Config, tr *wtrace.Trace, name, poolDesc, policy, benchPath string, writeBench bool) error {
+// percentiles overall and per tenant. It returns the sim so the caller
+// can flush observability outputs (sampler series).
+func runReplay(cfg infra.Config, tr *wtrace.Trace, name, poolDesc, policy, benchPath string, writeBench bool) (*infra.Sim, error) {
 	specs := tr.Specs()
 	sim, err := infra.New(cfg, specs)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	start := time.Now()
 	res, err := sim.Run()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sum := latreport.Build(sim.Timings(), latreport.MetaOf(tr))
 
@@ -417,14 +489,14 @@ func runReplay(cfg infra.Config, tr *wtrace.Trace, name, poolDesc, policy, bench
 		}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := os.WriteFile(benchPath, append(data, '\n'), 0o644); err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("report:          %s\n", benchPath)
 	}
-	return nil
+	return sim, nil
 }
 
 // runScale executes the scale benchmark and writes the report.

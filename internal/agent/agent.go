@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/storage/dataclay"
 )
 
@@ -129,6 +130,10 @@ type Config struct {
 	Addr string
 	// PollInterval tunes offload polling (default 5ms).
 	PollInterval time.Duration
+	// Metrics, when set, receives agent instruments (queue depth, busy
+	// workers, executed/failed tasks, offloads, per-endpoint request
+	// counts). Serve it with obsv.Serve for a Prometheus endpoint.
+	Metrics *obsv.Registry
 }
 
 type agentTask struct {
@@ -153,6 +158,8 @@ type Agent struct {
 	closed bool
 
 	recoveries int // offloads re-run after a peer loss
+
+	met metrics
 
 	work chan struct{} // worker wake-up tokens
 	quit chan struct{}
@@ -186,15 +193,16 @@ func New(cfg Config) (*Agent, error) {
 		client: &http.Client{Timeout: 2 * time.Second},
 		tasks:  make(map[string]*agentTask),
 		peers:  append([]string(nil), cfg.Peers...),
+		met:    newMetrics(cfg.Metrics),
 		work:   make(chan struct{}, 4096),
 		quit:   make(chan struct{}),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/task", a.handleTask)
-	mux.HandleFunc("/task/", a.handleTaskStatus)
-	mux.HandleFunc("/tasks", a.handleTasks)
-	mux.HandleFunc("/health", a.handleHealth)
-	mux.HandleFunc("/resources", a.handleResources)
+	mux.HandleFunc("/task", counted(cfg.Metrics, "task", a.handleTask))
+	mux.HandleFunc("/task/", counted(cfg.Metrics, "task-status", a.handleTaskStatus))
+	mux.HandleFunc("/tasks", counted(cfg.Metrics, "tasks", a.handleTasks))
+	mux.HandleFunc("/health", counted(cfg.Metrics, "health", a.handleHealth))
+	mux.HandleFunc("/resources", counted(cfg.Metrics, "resources", a.handleResources))
 	a.srv = &http.Server{Handler: mux}
 
 	a.wg.Add(1)
@@ -267,7 +275,10 @@ func (a *Agent) worker() {
 		t.status.State = StateRunning
 		a.busy++
 		a.mu.Unlock()
+		a.met.queued.Add(-1)
+		a.met.busy.Add(1)
 
+		started := time.Now()
 		fn, ok := a.cfg.Registry.Lookup(t.req.Name)
 		var result json.RawMessage
 		var err error
@@ -276,17 +287,21 @@ func (a *Agent) worker() {
 		} else {
 			result, err = fn(t.req.Args)
 		}
+		a.met.execSeconds.ObserveDuration(time.Since(started))
 
 		a.mu.Lock()
 		if err != nil {
 			t.status.State = StateFailed
 			t.status.Error = err.Error()
+			a.met.failed.Inc()
 		} else {
 			t.status.State = StateDone
 			t.status.Result = result
+			a.met.executed.Inc()
 		}
 		a.busy--
 		a.mu.Unlock()
+		a.met.busy.Add(-1)
 	}
 }
 
@@ -303,6 +318,7 @@ func (a *Agent) enqueue(req TaskRequest) (string, error) {
 	a.tasks[id] = t
 	a.queue = append(a.queue, t)
 	a.mu.Unlock()
+	a.met.queued.Add(1)
 	select {
 	case a.work <- struct{}{}:
 	default:

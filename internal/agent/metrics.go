@@ -1,0 +1,56 @@
+package agent
+
+import (
+	"net/http"
+
+	"repro/internal/obsv"
+)
+
+// metrics is the agent's instrument bundle. Without a registry every
+// field stays nil, and nil obsv instruments discard writes, so the hot
+// paths carry no enable branches.
+type metrics struct {
+	executed    *obsv.Counter   // tasks finished successfully
+	failed      *obsv.Counter   // tasks finished in error
+	queued      *obsv.Gauge     // tasks waiting for a worker
+	busy        *obsv.Gauge     // workers currently executing
+	execSeconds *obsv.Histogram // local execution wall time
+	offloads    *obsv.Counter   // tasks sent to a peer
+	recoveries  *obsv.Counter   // offloads re-run after a peer loss
+}
+
+func newMetrics(reg *obsv.Registry) metrics {
+	if reg == nil {
+		return metrics{}
+	}
+	return metrics{
+		executed: reg.Counter("flowgo_agent_tasks_executed_total",
+			"Tasks this agent executed to completion.", ""),
+		failed: reg.Counter("flowgo_agent_tasks_failed_total",
+			"Tasks this agent executed that returned an error.", ""),
+		queued: reg.Gauge("flowgo_agent_queue_depth",
+			"Tasks accepted but not yet picked up by a worker.", ""),
+		busy: reg.Gauge("flowgo_agent_busy_workers",
+			"Workers currently executing a task.", ""),
+		execSeconds: reg.Histogram("flowgo_agent_exec_seconds",
+			"Local task execution wall time.", "",
+			obsv.ExpBuckets(0.001, 4, 10)),
+		offloads: reg.Counter("flowgo_agent_offloads_total",
+			"Tasks submitted to a peer agent.", ""),
+		recoveries: reg.Counter("flowgo_agent_recoveries_total",
+			"Offloaded tasks recovered and resubmitted after a peer loss.", ""),
+	}
+}
+
+// counted wraps an HTTP handler with a per-endpoint request counter.
+func counted(reg *obsv.Registry, endpoint string, fn http.HandlerFunc) http.HandlerFunc {
+	var c *obsv.Counter
+	if reg != nil {
+		c = reg.Counter("flowgo_agent_http_requests_total",
+			"REST requests served, by endpoint.", obsv.Labels("endpoint", endpoint))
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.Inc()
+		fn(w, r)
+	}
+}

@@ -196,6 +196,7 @@ func (a *Agent) Offload(name string, args []json.RawMessage) (json.RawMessage, e
 	}
 	peers := a.rankedPeers()
 	for _, peer := range peers {
+		a.met.offloads.Inc()
 		attempt := req
 		if blobID != "" {
 			// Demonstrate true recovery: reload the request from the
@@ -214,6 +215,7 @@ func (a *Agent) Offload(name string, args []json.RawMessage) (json.RawMessage, e
 		a.mu.Lock()
 		a.recoveries++
 		a.mu.Unlock()
+		a.met.recoveries.Inc()
 	}
 	// All peers gone (or none configured): run locally.
 	return a.RunLocal(name, args)

@@ -33,6 +33,7 @@ import (
 	"repro/internal/engine/checkpoint"
 	"repro/internal/engine/faults"
 	"repro/internal/mlpredict"
+	"repro/internal/obsv"
 	"repro/internal/resources"
 	"repro/internal/sched"
 	"repro/internal/simnet"
@@ -215,6 +216,11 @@ type Config struct {
 	// with restorable output values — resolves immediately instead of
 	// executing.
 	Restore *checkpoint.Snapshot
+	// Metrics, when set, backs the engine (and the checkpointer, unless
+	// its config carries its own bundle) with observability instruments
+	// registered on this registry; serve it with obsv.Serve or sample it
+	// with Runtime.StartSampler. Optional.
+	Metrics *obsv.Registry
 }
 
 // versionSlot holds one produced value.
@@ -251,6 +257,7 @@ type Runtime struct {
 	proc *deps.Processor
 	eng  *engine.Engine
 	ckpt *checkpoint.Checkpointer
+	smp  *obsv.Sampler
 
 	mu       sync.Mutex
 	defs     map[string]TaskDef
@@ -293,6 +300,7 @@ func New(cfg Config) *Runtime {
 		Policy:       cfg.Policy,
 		Clock:        engine.WallClock{Epoch: rt.epoch},
 		Executor:     (*coreExecutor)(rt),
+		Metrics:      obsv.NewEngineMetrics(cfg.Metrics),
 		Registry:     cfg.Locations,
 		Net:          cfg.Net,
 		Tracer:       cfg.Tracer,
@@ -315,6 +323,9 @@ func New(cfg Config) *Runtime {
 		}
 		if ck.Tracer == nil {
 			ck.Tracer = cfg.Tracer
+		}
+		if ck.Metrics == nil && cfg.Metrics != nil {
+			ck.Metrics = obsv.NewCkptMetrics(cfg.Metrics)
 		}
 		rt.ckpt = checkpoint.NewCheckpointer(ck, rt)
 	}
@@ -987,4 +998,23 @@ func (rt *Runtime) Shutdown() {
 	if rt.ckpt != nil {
 		rt.ckpt.Stop()
 	}
+	rt.smp.Stop()
+}
+
+// StartSampler arms a wall-clock ticker that snapshots Config.Metrics
+// into an in-memory time-series every interval, stamped on the runtime's
+// epoch (the engine's time base), until Shutdown. Returns the sampler
+// for reading the series, or nil when Config.Metrics is unset. The live
+// counterpart of the simulator's deterministic virtual-clock sampling.
+func (rt *Runtime) StartSampler(every time.Duration) *obsv.Sampler {
+	if rt.cfg.Metrics == nil {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.smp == nil {
+		rt.smp = obsv.NewSampler(rt.cfg.Metrics)
+		rt.smp.Start(rt.epoch, every)
+	}
+	return rt.smp
 }

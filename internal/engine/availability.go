@@ -224,6 +224,8 @@ func (e *Engine) divertUnavailableLocked(t *Task) {
 	}
 	e.parked[t.ID] = struct{}{}
 	e.stats.Deferred++
+	e.cfg.Metrics.Parks.Inc()
+	e.cfg.Metrics.Parked.Add(1)
 	if e.cfg.Tracer != nil {
 		e.cfg.Tracer.Record(trace.Event{
 			At: e.cfg.Clock.Now(), Kind: trace.TaskParked, Task: t.ID,
@@ -256,6 +258,7 @@ func (e *Engine) divertUnavailableLocked(t *Task) {
 			// like any lineage recovery.
 			pt.availNeed = primary
 			e.stats.AvailRecomputes++
+			e.cfg.Metrics.Recomputes.Inc()
 		}
 		e.resubmitLocked(p)
 	}
@@ -273,7 +276,10 @@ func (e *Engine) unparkLocked(t *Task) {
 		}
 	}
 	t.availKeys = nil
-	delete(e.parked, t.ID)
+	if _, ok := e.parked[t.ID]; ok {
+		delete(e.parked, t.ID)
+		e.cfg.Metrics.Parked.Add(-1)
+	}
 }
 
 // wakeLocked releases a parked task back to the ready queue, where the
@@ -284,6 +290,7 @@ func (e *Engine) wakeLocked(t *Task) {
 	t.state = Ready
 	e.pushReadyLocked(t)
 	e.stats.Woken++
+	e.cfg.Metrics.Wakes.Inc()
 	if e.cfg.Tracer != nil {
 		e.cfg.Tracer.Record(trace.Event{At: e.cfg.Clock.Now(), Kind: trace.TaskWoken, Task: t.ID})
 	}

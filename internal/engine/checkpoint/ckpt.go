@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/trace"
 )
 
@@ -66,6 +67,12 @@ type Config struct {
 	// next automatic save writes a full base instead (default
 	// DefaultCompactEvery).
 	CompactEvery int
+	// Metrics, when set, records capture wall time, per-delta dirty-set
+	// size and save counts. Capture cost is real serialization work, so
+	// it is measured on the wall clock even under the simulator — these
+	// are the one engine-metric family that is NOT deterministic in sim
+	// (the CI determinism smoke runs checkpoint-free). Optional.
+	Metrics *obsv.CkptMetrics
 }
 
 // Checkpointer drives a Source against a Store under a Policy. Backends
@@ -91,6 +98,9 @@ type Checkpointer struct {
 // NewCheckpointer returns a checkpointer and, for interval policies,
 // arms the first timer callback.
 func NewCheckpointer(cfg Config, src Source) *Checkpointer {
+	if cfg.Metrics == nil {
+		cfg.Metrics = obsv.NewCkptMetrics(nil) // inert: nil instruments discard
+	}
 	c := &Checkpointer{cfg: cfg, src: src}
 	if cfg.Policy.Mode == ModeInterval && cfg.Timer != nil && cfg.Policy.Every > 0 {
 		c.arm(cfg.Policy.Every)
@@ -143,7 +153,9 @@ func (c *Checkpointer) Drained() {
 // running delta chain: the next delta simply carries a superset of the
 // changes, and absolute records make re-application harmless.
 func (c *Checkpointer) Save() error {
+	start := time.Now()
 	snap := c.src.CheckpointSnapshot()
+	c.cfg.Metrics.CaptureSeconds.ObserveDuration(time.Since(start))
 	return c.commitSnap(snap)
 }
 
@@ -181,9 +193,16 @@ func (c *Checkpointer) autoSave() error {
 		c.mu.Unlock()
 		return nil
 	case "delta":
-		return c.commitDelta(ds.CheckpointDelta())
+		c.cfg.Metrics.DirtyRecords.Observe(float64(ds.CheckpointDirty()))
+		start := time.Now()
+		d := ds.CheckpointDelta()
+		c.cfg.Metrics.CaptureSeconds.ObserveDuration(time.Since(start))
+		return c.commitDelta(d)
 	default:
-		return c.commitBase(ds.CheckpointBase())
+		start := time.Now()
+		snap := ds.CheckpointBase()
+		c.cfg.Metrics.CaptureSeconds.ObserveDuration(time.Since(start))
+		return c.commitBase(snap)
 	}
 }
 
@@ -201,6 +220,7 @@ func (c *Checkpointer) commitSnap(snap *Snapshot) error {
 		return err
 	}
 	c.saves++
+	c.cfg.Metrics.Saves.Inc()
 	c.lastSeq = snap.Seq
 	c.traceSavedLocked(snap.At, path)
 	return nil
@@ -220,6 +240,7 @@ func (c *Checkpointer) commitBase(snap *Snapshot) error {
 		return err
 	}
 	c.saves++
+	c.cfg.Metrics.Saves.Inc()
 	c.haveBase = true
 	c.chainLen = 0
 	c.lastSeq = snap.Seq
@@ -246,6 +267,8 @@ func (c *Checkpointer) commitDelta(d *Delta) error {
 	}
 	c.saves++
 	c.deltaSaves++
+	c.cfg.Metrics.Saves.Inc()
+	c.cfg.Metrics.DeltaSaves.Inc()
 	c.chainLen++
 	c.lastSeq = d.Seq
 	c.traceSavedLocked(d.At, path)

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/deps"
+	"repro/internal/obsv"
 	"repro/internal/resources"
 	"repro/internal/sched"
 	"repro/internal/simnet"
@@ -240,6 +241,14 @@ type Config struct {
 	// Availability type). Effective only when Registry and Net are both
 	// set — without the transfer books the engine cannot classify inputs.
 	Availability Availability
+	// Metrics, when set, receives continuous observability signals:
+	// per-signature ready depth, parked count, wave size/duration,
+	// decline reasons, steal and availability churn, transfer volume.
+	// Durations are observed on the engine Clock, so simulator series are
+	// deterministic (and wave durations are 0 — no virtual time passes
+	// inside a wave). Leave nil for an inert bundle (metrics off; the hot
+	// paths then write to nil instruments, which discard). Optional.
+	Metrics *obsv.EngineMetrics
 	// DisableIndex forces the legacy materialized-slice placement path
 	// even when the policy implements sched.IndexedPolicy. The pool's
 	// capability index still answers Fitting/Capable queries; this only
@@ -368,12 +377,16 @@ type Engine struct {
 // bucket is one signature's ready FIFO. blocked marks the wave in which
 // the head failed to place, parking the whole bucket for that wave; seen
 // marks the wave whose candidate view currently holds the bucket, so a
-// mid-wave refill re-admits it exactly once.
+// mid-wave refill re-admits it exactly once. depth mirrors len(q) into
+// the per-signature ready-depth gauge; it is resolved once at bucket
+// creation (nil when metrics are off) and updated at exactly the sites
+// that maintain readyN, so the gauge cannot drift from the queue.
 type bucket struct {
 	sig     string
 	q       []int64
 	blocked int
 	seen    int
+	depth   *obsv.Gauge
 }
 
 // New returns an engine over the given configuration. Pool, Policy,
@@ -382,6 +395,9 @@ type bucket struct {
 func New(cfg Config) *Engine {
 	if cfg.Pool == nil || cfg.Policy == nil || cfg.Clock == nil || cfg.Executor == nil {
 		panic("engine: Pool, Policy, Clock and Executor are required")
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obsv.NewEngineMetrics(nil) // inert: nil instruments discard
 	}
 	e := &Engine{
 		cfg:      cfg,
@@ -448,7 +464,12 @@ func (e *Engine) markDirtyLocked(t *Task) {
 	e.dirtyIDs = append(e.dirtyIDs, t.ID)
 }
 
-// Stats returns activity counters.
+// Stats returns the activity counters as a mutually consistent snapshot:
+// every counter mutation happens under the engine mutex, and the whole
+// struct is copied out under one acquisition, so cross-counter
+// invariants hold in the returned value even while the engine is mid-run
+// (Steals ≤ Launched, Reexecuted ≤ Completed, Woken ≤ Deferred — a
+// reader never observes the increment of one side without the other).
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -583,7 +604,7 @@ func (e *Engine) pushReadyLocked(t *Task) {
 	}
 	b, exists := e.ready[t.sig]
 	if !exists {
-		b = &bucket{sig: t.sig}
+		b = &bucket{sig: t.sig, depth: e.cfg.Metrics.ReadyDepth(t.sig)}
 		e.ready[t.sig] = b
 		pos := sort.Search(len(e.sigs), func(i int) bool { return e.sigs[i].sig >= t.sig })
 		e.sigs = append(e.sigs, nil)
@@ -605,6 +626,7 @@ func (e *Engine) pushReadyLocked(t *Task) {
 	copy(b.q[at+1:], b.q[at:])
 	b.q[at] = t.ID
 	e.readyN.Add(1)
+	b.depth.Add(1)
 }
 
 // headLess orders bucket heads: multi-node first, then higher priority,
@@ -670,8 +692,17 @@ func (e *Engine) placeWaveLocked(placed []Placement) []Placement {
 	}
 	e.waveActive = true
 	defer func() { e.waveActive = false }()
+	m := e.cfg.Metrics
 	for {
 		e.wave++
+		// Wave shape metrics. Duration is on the engine clock: zero in the
+		// simulator (virtual time stands still inside a wave), wall time
+		// live. The Now() calls are skipped entirely when metrics are off.
+		var waveStart time.Duration
+		if m.WaveSeconds != nil {
+			waveStart = e.cfg.Clock.Now()
+		}
+		waveBase := len(placed)
 		// Build this wave's candidate view once: every non-empty bucket.
 		// The selection loop below scans and compacts this view instead of
 		// rescanning every signature ever registered per placement — on a
@@ -713,6 +744,7 @@ func (e *Engine) placeWaveLocked(placed []Placement) []Placement {
 				placed = append(placed, p)
 				bestB.q = bestB.q[1:]
 				e.readyN.Add(-1)
+				bestB.depth.Add(-1)
 			case placeUnavailable:
 				// The head's inputs are unreachable: divert it into the
 				// availability wait set (which may resubmit producers into
@@ -720,13 +752,24 @@ func (e *Engine) placeWaveLocked(placed []Placement) []Placement {
 				// task-specific, so the bucket is not blocked.
 				bestB.q = bestB.q[1:]
 				e.readyN.Add(-1)
+				bestB.depth.Add(-1)
+				m.DeclineUnavailable.Inc()
 				e.divertUnavailableLocked(best)
+			case placeNoCapacity:
+				bestB.blocked = e.wave
+				m.DeclineNoCapacity.Inc()
 			default:
 				bestB.blocked = e.wave
+				m.DeclineDeclined.Inc()
 			}
 		}
 		if e.cfg.Steal.Mode != StealOff && e.readyN.Load() > 0 {
 			placed = e.stealWaveLocked(placed)
+		}
+		m.Waves.Inc()
+		m.WaveSize.Observe(float64(len(placed) - waveBase))
+		if m.WaveSeconds != nil {
+			m.WaveSeconds.ObserveDuration(e.cfg.Clock.Now() - waveStart)
 		}
 		if len(e.pendingWakes) == 0 {
 			return placed
@@ -764,6 +807,7 @@ func (e *Engine) stealWaveLocked(placed []Placement) []Placement {
 		}
 		for i := len(b.q) - 1; i >= 1; i-- {
 			t := e.tasks[b.q[i]]
+			e.cfg.Metrics.StealAttempts.Inc()
 			p, outcome := e.placeLocked(t)
 			if outcome == placeNoCapacity {
 				break
@@ -776,7 +820,9 @@ func (e *Engine) stealWaveLocked(placed []Placement) []Placement {
 			}
 			b.q = append(b.q[:i], b.q[i+1:]...)
 			e.readyN.Add(-1)
+			b.depth.Add(-1)
 			e.stats.Steals++
+			e.cfg.Metrics.StealSuccesses.Inc()
 			if e.cfg.Tracer != nil {
 				e.cfg.Tracer.Record(trace.Event{
 					At: e.cfg.Clock.Now(), Kind: trace.TaskStolen, Task: t.ID,
@@ -933,6 +979,11 @@ func (e *Engine) placeLocked(t *Task) (Placement, placeOutcome) {
 		e.stats.Transfers += len(plan.Moves)
 		e.stats.BytesMoved += plan.Bytes
 		e.stats.TransferTime += plan.Time
+		if len(plan.Moves) > 0 {
+			e.cfg.Metrics.Transfers.Add(int64(len(plan.Moves)))
+			e.cfg.Metrics.TransferBytes.Add(plan.Bytes)
+			e.cfg.Metrics.FetchSeconds.ObserveDuration(plan.Time)
+		}
 		if plan.Bytes > 0 && e.cfg.Tracer != nil {
 			e.cfg.Tracer.Record(trace.Event{
 				At: e.cfg.Clock.Now(), Kind: trace.DataTransfer, Task: t.ID,
@@ -966,6 +1017,7 @@ func (e *Engine) placeLocked(t *Task) (Placement, placeOutcome) {
 		}
 	}
 	e.stats.Launched++
+	e.cfg.Metrics.Launched.Inc()
 	if e.cfg.Tracer != nil {
 		e.cfg.Tracer.Record(trace.Event{
 			At: e.cfg.Clock.Now(), Kind: trace.TaskStarted, Task: t.ID,
@@ -1051,6 +1103,11 @@ func (e *Engine) completeLocked(id int64, epoch int, failed bool) (Completion, b
 		e.cfg.Tracer.Record(trace.Event{At: e.cfg.Clock.Now(), Kind: kind, Task: id, Node: primary})
 	}
 	e.stats.Completed++
+	if failed {
+		e.cfg.Metrics.Failed.Inc()
+	} else {
+		e.cfg.Metrics.Completed.Inc()
+	}
 
 	c.First = !t.completed
 	t.completed = true
@@ -1159,6 +1216,7 @@ func (e *Engine) DropReadyMissingInputs() []*Task {
 				t.state = Pending
 				t.waitCount = 0
 				e.readyN.Add(-1)
+				b.depth.Add(-1)
 				e.markDirtyLocked(t)
 				dropped = append(dropped, t)
 				continue

@@ -162,6 +162,7 @@ func (e *Engine) RestoreCompleted(id int64, epoch int) bool {
 			}
 		}
 		e.readyN.Add(-1)
+		b.depth.Add(-1)
 	}
 	if t.state == Parked {
 		e.unparkLocked(t) // a restored completion needs no inputs at all

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/infra"
+	"repro/internal/obsv"
 	"repro/internal/resources"
 	"repro/internal/sched"
 	"repro/internal/simnet"
@@ -25,6 +26,38 @@ func BenchmarkSimThroughput(b *testing.B) {
 		}
 		sim, err := infra.New(infra.Config{
 			Pool: pool, Net: simnet.New(simnet.Link{BandwidthMBps: 1000}), Policy: sched.MinLoad{},
+		}, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TasksCompleted != 5000 {
+			b.Fatalf("completed %d", res.TasksCompleted)
+		}
+	}
+	b.ReportMetric(float64(5000*b.N)/b.Elapsed().Seconds(), "sim-tasks/s")
+}
+
+// BenchmarkSimThroughputMetrics is BenchmarkSimThroughput with the full
+// observability layer on: registry-backed engine metrics plus virtual
+// sampling at the CLI's default 10s interval. The acceptance bar is < 5%
+// regression against the metrics-off figure — instrumentation must stay
+// off the hot path (atomic adds on pre-resolved instruments, sampling on
+// clock events).
+func BenchmarkSimThroughputMetrics(b *testing.B) {
+	specs := workloads.EmbarrassinglyParallel(5000, time.Minute, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := resources.NewPool()
+		for n := 0; n < 8; n++ {
+			_ = pool.Add(resources.NewNode(fmt.Sprintf("n%d", n), resources.MareNostrumNode))
+		}
+		sim, err := infra.New(infra.Config{
+			Pool: pool, Net: simnet.New(simnet.Link{BandwidthMBps: 1000}), Policy: sched.MinLoad{},
+			Metrics: obsv.NewRegistry(), SampleEvery: 10 * time.Second,
 		}, specs)
 		if err != nil {
 			b.Fatal(err)

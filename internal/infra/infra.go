@@ -31,6 +31,7 @@ import (
 	"repro/internal/engine/checkpoint"
 	"repro/internal/engine/faults"
 	"repro/internal/mlpredict"
+	"repro/internal/obsv"
 	"repro/internal/resources"
 	"repro/internal/sched"
 	"repro/internal/simclock"
@@ -142,6 +143,17 @@ type Config struct {
 	// processor, so WAR/WAW false dependencies serialise the graph
 	// (ablation A1 in DESIGN.md §6).
 	DisableRenaming bool
+	// Metrics, when set, backs the engine (and the checkpointer, unless
+	// its config carries its own bundle) with observability instruments
+	// registered on this registry. Optional.
+	Metrics *obsv.Registry
+	// SampleEvery, when positive (and Metrics is set), snapshots the
+	// registry into an in-memory time-series every virtual interval —
+	// deterministic: identical runs produce byte-identical series,
+	// retrievable through Sim.Sampler. Checkpoint capture-time metrics
+	// are the exception (measured on the wall clock; sample
+	// checkpoint-free runs when diffing series).
+	SampleEvery time.Duration
 }
 
 // Result summarises a simulation run.
@@ -198,6 +210,7 @@ type Sim struct {
 	proc  *deps.Processor
 	eng   *engine.Engine
 	ckpt  *checkpoint.Checkpointer
+	smp   *obsv.Sampler
 
 	result        Result
 	releases      []release
@@ -252,11 +265,15 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 		nodeAdded: make(map[string]time.Duration),
 		remaining: len(specs),
 	}
+	if cfg.Metrics != nil && cfg.SampleEvery > 0 {
+		s.smp = obsv.NewSampler(cfg.Metrics)
+	}
 	s.eng = engine.New(engine.Config{
 		Pool:         cfg.Pool,
 		Policy:       cfg.Policy,
 		Clock:        s.clock,
 		Executor:     &simExecutor{s},
+		Metrics:      obsv.NewEngineMetrics(cfg.Metrics),
 		Registry:     s.reg,
 		Net:          cfg.Net,
 		PersistNode:  cfg.PersistNode,
@@ -355,6 +372,9 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 		}
 		if ck.Tracer == nil {
 			ck.Tracer = cfg.Tracer
+		}
+		if ck.Metrics == nil && cfg.Metrics != nil {
+			ck.Metrics = obsv.NewCkptMetrics(cfg.Metrics)
 		}
 		s.ckpt = checkpoint.NewCheckpointer(ck, s)
 	}
@@ -602,6 +622,22 @@ func (s *Sim) Run() (Result, error) {
 		s.clock.At(s.cfg.HaltAt, func() { s.halted = true })
 	}
 
+	// Arm metric sampling on the virtual clock. Gated on liveness the
+	// same way as ckptTimer: when a sampling event pops with nothing else
+	// pending, the run has drained or wedged, and re-arming would keep
+	// the event heap alive forever, masking ErrStuck.
+	if s.smp != nil {
+		var tick func()
+		tick = func() {
+			if s.remaining == 0 || s.halted || s.clock.Pending() == 0 {
+				return
+			}
+			s.smp.Sample(s.clock.Now())
+			s.clock.After(s.cfg.SampleEvery, tick)
+		}
+		s.clock.After(s.cfg.SampleEvery, tick)
+	}
+
 	s.eng.Schedule()
 	for s.remaining > 0 && !s.halted {
 		if !s.clock.Step() {
@@ -625,6 +661,9 @@ func (s *Sim) Run() (Result, error) {
 	if s.remaining == 0 && s.ckpt != nil {
 		s.ckpt.Drained()
 	}
+	// One closing sample at the makespan instant, so every series ends on
+	// the run's final state (still deterministic — virtual timestamp).
+	s.smp.Sample(s.clock.Now())
 	s.result.Makespan = s.clock.Now()
 	s.result.DepEdges = s.proc.Stats()
 	st := s.eng.Stats()
@@ -766,3 +805,8 @@ func (s *Sim) Now() time.Duration { return s.clock.Now() }
 // EngineStats exposes the shared scheduling engine's counters (launches,
 // transfer accounting) — comparable one-to-one with the live runtime's.
 func (s *Sim) EngineStats() engine.Stats { return s.eng.Stats() }
+
+// Sampler returns the virtual-clock metrics sampler (nil unless
+// Config.Metrics and Config.SampleEvery are both set). Read it after Run:
+// the sampled series are deterministic, byte-identical run to run.
+func (s *Sim) Sampler() *obsv.Sampler { return s.smp }

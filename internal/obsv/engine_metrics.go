@@ -1,0 +1,132 @@
+package obsv
+
+import "sync"
+
+// EngineMetrics bundles the engine's instruments, pre-resolved so the
+// scheduler hot paths touch only atomic words. When no registry is
+// wired, NewEngineMetrics(nil) returns an inert bundle: every instrument
+// pointer is nil and nil instruments discard writes, so the engine
+// carries no enable checks on its hot paths.
+type EngineMetrics struct {
+	reg *Registry
+
+	// Ready-queue shape. ReadyDepth is per constraint signature
+	// (resolved lazily as buckets appear); Parked counts tasks diverted
+	// by the availability policy.
+	Parked *Gauge
+
+	// Placement waves.
+	Waves       *Counter
+	WaveSize    *Histogram // tasks placed per wave
+	WaveSeconds *Histogram // wave duration on the engine clock
+
+	// Placement declines by reason (no-capacity / declined / unavailable).
+	DeclineNoCapacity  *Counter
+	DeclineDeclined    *Counter
+	DeclineUnavailable *Counter
+
+	// Work stealing.
+	StealAttempts  *Counter
+	StealSuccesses *Counter
+
+	// Availability policy churn.
+	Parks      *Counter
+	Wakes      *Counter
+	Recomputes *Counter
+
+	// Data movement.
+	Transfers     *Counter
+	TransferBytes *Counter
+	FetchSeconds  *Histogram // input staging latency on the engine clock
+
+	// Task lifecycle.
+	Launched  *Counter
+	Completed *Counter
+	Failed    *Counter
+
+	mu    sync.Mutex
+	depth map[string]*Gauge // per-signature ready depth
+}
+
+// NewEngineMetrics registers the engine instrument set on reg and
+// returns the bundle. Pass nil reg to get an inert bundle (metrics off).
+func NewEngineMetrics(reg *Registry) *EngineMetrics {
+	if reg == nil {
+		return &EngineMetrics{depth: make(map[string]*Gauge)}
+	}
+	waveBuckets := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	secBuckets := ExpBuckets(1e-6, 4, 12) // 1µs .. ~4.2s
+	m := &EngineMetrics{
+		reg:    reg,
+		Parked: reg.Gauge("flowgo_parked_tasks", "Tasks parked by the availability policy.", ""),
+
+		Waves:       reg.Counter("flowgo_placement_waves_total", "Placement waves run.", ""),
+		WaveSize:    reg.Histogram("flowgo_placement_wave_size", "Tasks placed per wave.", "", waveBuckets),
+		WaveSeconds: reg.Histogram("flowgo_placement_wave_seconds", "Wave duration on the engine clock.", "", secBuckets),
+
+		DeclineNoCapacity:  reg.Counter("flowgo_placement_declines_total", "Placement declines by reason.", Labels("reason", "no_capacity")),
+		DeclineDeclined:    reg.Counter("flowgo_placement_declines_total", "Placement declines by reason.", Labels("reason", "declined")),
+		DeclineUnavailable: reg.Counter("flowgo_placement_declines_total", "Placement declines by reason.", Labels("reason", "unavailable")),
+
+		StealAttempts:  reg.Counter("flowgo_steal_attempts_total", "Work-steal attempts.", ""),
+		StealSuccesses: reg.Counter("flowgo_steal_successes_total", "Work-steal successes.", ""),
+
+		Parks:      reg.Counter("flowgo_avail_parks_total", "Tasks parked for unavailable inputs.", ""),
+		Wakes:      reg.Counter("flowgo_avail_wakes_total", "Parked tasks woken by heals.", ""),
+		Recomputes: reg.Counter("flowgo_avail_recomputes_total", "Availability recompute decisions.", ""),
+
+		Transfers:     reg.Counter("flowgo_transfers_total", "Input data moves.", ""),
+		TransferBytes: reg.Counter("flowgo_transfer_bytes_total", "Bytes moved staging inputs.", ""),
+		FetchSeconds:  reg.Histogram("flowgo_fetch_seconds", "Input staging latency on the engine clock.", "", secBuckets),
+
+		Launched:  reg.Counter("flowgo_tasks_launched_total", "Tasks launched.", ""),
+		Completed: reg.Counter("flowgo_tasks_completed_total", "Tasks completed.", ""),
+		Failed:    reg.Counter("flowgo_tasks_failed_total", "Task executions that failed.", ""),
+
+		depth: make(map[string]*Gauge),
+	}
+	return m
+}
+
+// ReadyDepth resolves the ready-queue depth gauge for one constraint
+// signature. The engine calls this once per bucket creation and stores
+// the pointer on the bucket; increments never take this path. Nil-safe
+// on both the bundle and an inert (registry-less) bundle.
+func (m *EngineMetrics) ReadyDepth(sig string) *Gauge {
+	if m == nil || m.reg == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g, ok := m.depth[sig]; ok {
+		return g
+	}
+	g := m.reg.Gauge("flowgo_ready_depth", "Ready-queue depth per constraint signature.", Labels("sig", sig))
+	m.depth[sig] = g
+	return g
+}
+
+// CkptMetrics bundles the checkpointer's instruments. Capture time is
+// measured on the wall clock even in the simulator — serialization cost
+// is real work — so these series are the documented exception to sim
+// determinism (the CI determinism smoke runs checkpoint-free).
+type CkptMetrics struct {
+	Saves          *Counter
+	DeltaSaves     *Counter
+	CaptureSeconds *Histogram
+	DirtyRecords   *Histogram
+}
+
+// NewCkptMetrics registers the checkpoint instrument set on reg. Pass
+// nil reg for an inert bundle.
+func NewCkptMetrics(reg *Registry) *CkptMetrics {
+	if reg == nil {
+		return &CkptMetrics{}
+	}
+	return &CkptMetrics{
+		Saves:          reg.Counter("flowgo_checkpoint_saves_total", "Checkpoints captured (base + delta).", ""),
+		DeltaSaves:     reg.Counter("flowgo_checkpoint_delta_saves_total", "Delta checkpoints captured.", ""),
+		CaptureSeconds: reg.Histogram("flowgo_checkpoint_capture_seconds", "Checkpoint capture wall time.", "", ExpBuckets(1e-5, 4, 10)),
+		DirtyRecords:   reg.Histogram("flowgo_checkpoint_dirty_records", "Dirty records per delta capture.", "", ExpBuckets(1, 4, 12)),
+	}
+}

@@ -1,0 +1,279 @@
+package obsv
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "test counter", "")
+	var wg sync.WaitGroup
+	const workers, per = 32, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestNilInstrumentsDiscard(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Add(1)
+	c.Inc()
+	g.Set(5)
+	g.Add(-2)
+	h.Observe(1.5)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	var s *Sampler
+	s.Sample(0)
+	s.Stop()
+	if err := s.WriteText(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	m := NewEngineMetrics(nil)
+	m.Parked.Add(1)
+	m.Waves.Inc()
+	m.WaveSize.Observe(3)
+	m.ReadyDepth("sig").Add(1)
+	km := NewCkptMetrics(nil)
+	km.Saves.Inc()
+	km.CaptureSeconds.Observe(0.1)
+}
+
+// TestHistogramBucketEdges pins the le semantics at exact bucket bounds:
+// an observation equal to a bound lands in that bound's bucket, epsilon
+// above it spills to the next, and values past the last bound land in
+// +Inf. (Satellite: histogram bucket edge values.)
+func TestHistogramBucketEdges(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "test", "", []float64{1, 2, 4})
+	h.Observe(1)                         // == bound 1 → bucket 0
+	h.Observe(math.Nextafter(1, 2))      // just above 1 → bucket 1
+	h.Observe(2)                         // == bound 2 → bucket 1
+	h.Observe(4)                         // == last bound → bucket 2
+	h.Observe(math.Nextafter(4, 5))      // just above last bound → +Inf
+	h.Observe(math.Inf(1))               // +Inf → +Inf bucket
+	h.Observe(0)                         // below first bound → bucket 0
+	h.Observe(math.Nextafter(2, 1))      // just below 2 → bucket 1
+	want := []int64{2, 3, 1, 2}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+}
+
+func TestHistogramSumConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h_sum", "test", "", []float64{10})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := h.Sum(), 8*500*0.5; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestLabelsCanonicalOrder(t *testing.T) {
+	a := Labels("tier", "hpc", "sig", "c4")
+	b := Labels("sig", "c4", "tier", "hpc")
+	if a != b {
+		t.Fatalf("label order not canonical: %q vs %q", a, b)
+	}
+	if want := `{sig="c4",tier="hpc"}`; a != want {
+		t.Fatalf("labels = %q, want %q", a, want)
+	}
+	if got := Labels("k", "a\"b\\c\nd"); !strings.Contains(got, `a\"b\\c\nd`) {
+		t.Fatalf("escaping broken: %q", got)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total", "Jobs run.", Labels("kind", "sim")).Add(3)
+	reg.Gauge("depth", "Queue depth.", "").Set(7)
+	h := reg.Histogram("lat_seconds", "Latency.", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		`jobs_total{kind="sim"} 3`,
+		"# TYPE depth gauge",
+		"depth 7",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramLabelledBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("d_seconds", "test", Labels("sig", "c4"), []float64{1})
+	h.Observe(0.5)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := `d_seconds_bucket{sig="c4",le="1"} 1`; !strings.Contains(buf.String(), want) {
+		t.Fatalf("missing %q:\n%s", want, buf.String())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", "", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering as a different kind must panic")
+		}
+	}()
+	reg.Gauge("x", "", "")
+}
+
+func TestSamplerDeterministicText(t *testing.T) {
+	run := func() string {
+		reg := NewRegistry()
+		c := reg.Counter("b_total", "", "")
+		g := reg.Gauge("a_depth", "", "")
+		s := NewSampler(reg)
+		for i := 1; i <= 3; i++ {
+			c.Add(int64(i))
+			g.Set(int64(10 * i))
+			s.Sample(time.Duration(i) * time.Second)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("sampler text not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.HasPrefix(a, "a_depth 1s 10\n") {
+		t.Fatalf("series not name-sorted / formatted:\n%s", a)
+	}
+	if !strings.Contains(a, "b_total 3s 6\n") {
+		t.Fatalf("missing cumulative counter point:\n%s", a)
+	}
+}
+
+func TestSamplerWallTicker(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("g", "", "").Set(1)
+	s := NewSampler(reg)
+	s.Start(time.Now(), 5*time.Millisecond)
+	deadline := time.After(2 * time.Second)
+	for {
+		if len(s.Series()) > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("wall ticker never sampled")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	s.Stop()
+	n := len(s.Series()[0].Points)
+	time.Sleep(15 * time.Millisecond)
+	if got := len(s.Series()[0].Points); got != n {
+		t.Fatalf("sampler kept sampling after Stop: %d -> %d", n, got)
+	}
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "", "").Inc()
+	addr, shutdown, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = shutdown() }()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "up_total 1") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestEngineMetricsReadyDepthCached(t *testing.T) {
+	reg := NewRegistry()
+	m := NewEngineMetrics(reg)
+	g1 := m.ReadyDepth("c4")
+	g2 := m.ReadyDepth("c4")
+	if g1 != g2 {
+		t.Fatal("ReadyDepth must cache per-signature gauges")
+	}
+	g1.Add(3)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := `flowgo_ready_depth{sig="c4"} 3`; !strings.Contains(buf.String(), want) {
+		t.Fatalf("missing %q:\n%s", want, buf.String())
+	}
+}

@@ -100,6 +100,23 @@ type RestoreReport struct {
 	OK bool `json:"ok"`
 }
 
+// MetricsSeries is one sampled metric over the run: parallel arrays of
+// virtual-time sample instants and values.
+type MetricsSeries struct {
+	Name   string    `json:"name"`
+	AtSec  []float64 `json:"at_seconds"`
+	Values []float64 `json:"values"`
+}
+
+// MetricsReport is the sampled time-series section of the report,
+// present when the run was given a metrics registry (Config.Metrics).
+// Sampling runs on the virtual clock, so the section is deterministic
+// for a fixed config and seed.
+type MetricsReport struct {
+	SampleEverySec float64         `json:"sample_every_seconds"`
+	Series         []MetricsSeries `json:"series"`
+}
+
 // Report is the full BENCH_scale.json document.
 type Report struct {
 	Schema        int              `json:"schema"`
@@ -111,6 +128,7 @@ type Report struct {
 	Restore       *RestoreReport   `json:"restore,omitempty"`
 	Placement     *PlacementReport `json:"placement,omitempty"`
 	Contention    *MutexReport     `json:"mutex_contention,omitempty"`
+	Metrics       *MetricsReport   `json:"metrics,omitempty"`
 }
 
 // Schema is the report format version.
@@ -176,6 +194,23 @@ func newReport(cfg Config, h *harness, buildWall, runWall time.Duration) *Report
 	// so the per-tenant breakdown stays empty here; trace replays fill it.
 	lat := latreport.Build(h.eng.Timings(), nil)
 	rep.Latency = &lat
+
+	if h.smp != nil {
+		every := cfg.SampleEvery
+		if every <= 0 {
+			every = cfg.Interval
+		}
+		mr := &MetricsReport{SampleEverySec: every.Seconds()}
+		for _, ts := range h.smp.Series() {
+			ms := MetricsSeries{Name: ts.Name}
+			for _, p := range ts.Points {
+				ms.AtSec = append(ms.AtSec, p.At.Seconds())
+				ms.Values = append(ms.Values, p.Value)
+			}
+			mr.Series = append(mr.Series, ms)
+		}
+		rep.Metrics = mr
+	}
 
 	rep.Checkpoint = CkptReport{Captures: len(h.captures), Skipped: h.skipped}
 	if len(h.captures) > 0 {

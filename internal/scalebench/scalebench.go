@@ -35,6 +35,7 @@ import (
 	"repro/internal/deps"
 	"repro/internal/engine"
 	"repro/internal/engine/checkpoint"
+	"repro/internal/obsv"
 	"repro/internal/resources"
 	"repro/internal/sched"
 	"repro/internal/simclock"
@@ -80,6 +81,13 @@ type Config struct {
 	// MutexProbe, when true, runs the post-run concurrent contention
 	// probe (see probe.go).
 	MutexProbe bool
+	// Metrics, when set, receives engine instruments, and the report
+	// gains a sampled time-series section (see Report.Metrics). Sampling
+	// runs on the virtual clock every SampleEvery (0 ⇒ Interval), so the
+	// series is deterministic for a fixed config and seed.
+	Metrics *obsv.Registry
+	// SampleEvery is the virtual-time metrics sampling interval.
+	SampleEvery time.Duration
 	// Progress, when set, receives coarse progress lines.
 	Progress func(string)
 }
@@ -108,6 +116,7 @@ type harness struct {
 	eng   *engine.Engine
 	reg   *transfer.Registry
 	store *checkpoint.Store
+	smp   *obsv.Sampler
 
 	completed int
 	waveNS    []int64 // per-CompleteSchedule wall nanoseconds
@@ -319,7 +328,11 @@ func Run(cfg Config) (*Report, error) {
 		Registry:     h.reg,
 		Net:          simnet.New(simnet.Link{BandwidthMBps: 1000, Latency: 100 * time.Microsecond}),
 		DisableIndex: cfg.NoIndex,
+		Metrics:      obsv.NewEngineMetrics(cfg.Metrics),
 	})
+	if cfg.Metrics != nil {
+		h.smp = obsv.NewSampler(cfg.Metrics)
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	buildStart := time.Now()
@@ -348,8 +361,25 @@ func Run(cfg Config) (*Report, error) {
 		h.bases++
 	}
 	h.clock.After(cfg.Interval, h.tick)
+	if h.smp != nil {
+		every := cfg.SampleEvery
+		if every <= 0 {
+			every = cfg.Interval
+		}
+		// Same re-arm guard as tick: a sampler that re-arms over a stalled
+		// graph would keep the event loop alive forever.
+		var sampleTick func()
+		sampleTick = func() {
+			h.smp.Sample(h.clock.Now())
+			if h.completed < h.cfg.Tasks && h.clock.Pending() > 0 {
+				h.clock.After(every, sampleTick)
+			}
+		}
+		h.clock.After(every, sampleTick)
+	}
 	h.eng.Schedule()
 	h.clock.Run()
+	h.smp.Sample(h.clock.Now()) // closing sample at the makespan
 	runWall := time.Since(runStart)
 	if h.completed != cfg.Tasks {
 		return nil, fmt.Errorf("scalebench: run drained with %d/%d tasks completed", h.completed, cfg.Tasks)

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/obsv"
 )
 
 // small returns a configuration sized for the ordinary test suite:
@@ -46,6 +48,46 @@ func TestRunSmall(t *testing.T) {
 	}
 	if rep.Run.SimMakespanSec <= 0 || rep.Run.TasksPerSec <= 0 {
 		t.Fatalf("degenerate run report: %+v", rep.Run)
+	}
+}
+
+// TestRunMetricsSection covers the observability wiring: given a
+// registry, the run samples engine metrics on the virtual clock and the
+// report gains a metrics section with non-empty, monotone-stamped series.
+func TestRunMetricsSection(t *testing.T) {
+	cfg := small(t)
+	cfg.Metrics = obsv.NewRegistry()
+	cfg.SampleEvery = time.Minute
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics == nil || len(rep.Metrics.Series) == 0 {
+		t.Fatal("metrics registry set but report has no metrics section")
+	}
+	if rep.Metrics.SampleEverySec != 60 {
+		t.Fatalf("sample_every_seconds = %v, want 60", rep.Metrics.SampleEverySec)
+	}
+	var completed *MetricsSeries
+	for i := range rep.Metrics.Series {
+		s := &rep.Metrics.Series[i]
+		if len(s.AtSec) != len(s.Values) || len(s.AtSec) == 0 {
+			t.Fatalf("series %s: %d instants vs %d values", s.Name, len(s.AtSec), len(s.Values))
+		}
+		for j := 1; j < len(s.AtSec); j++ {
+			if s.AtSec[j] < s.AtSec[j-1] {
+				t.Fatalf("series %s: sample instants not monotone", s.Name)
+			}
+		}
+		if s.Name == "flowgo_tasks_completed_total" {
+			completed = s
+		}
+	}
+	if completed == nil {
+		t.Fatal("no flowgo_tasks_completed_total series sampled")
+	}
+	if last := completed.Values[len(completed.Values)-1]; last != float64(cfg.Tasks) {
+		t.Fatalf("closing completed sample = %v, want %d", last, cfg.Tasks)
 	}
 }
 

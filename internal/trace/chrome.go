@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace-event export: the run rendered as a Perfetto-loadable
+// JSON document (chrome://tracing's trace-event format) — the
+// reproduction's stand-in for the Paraver Gantt views the paper's
+// tooling produces. One "process" holds one "thread" per node; every
+// task execution span becomes a complete ("X") event on its node's
+// thread, and engine milestones (steals, parks/wakes, node and link
+// faults, checkpoints) become instant ("i") events, so scheduling
+// decisions can be read in context next to the work they affected.
+// Load the file at https://ui.perfetto.dev or chrome://tracing.
+
+// chromeEvent is one trace-event record. Field order matters only for
+// readability; json.Marshal keeps struct order, so output is
+// deterministic for a fixed event list.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"` // µs
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope: t=thread, g=global
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the document wrapper Perfetto accepts.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usec converts an engine-clock offset to trace-event microseconds.
+func usec(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// milestoneKinds are the event kinds exported as instant markers —
+// everything that explains a Gantt shape without being a span itself.
+var milestoneKinds = map[Kind]bool{
+	TaskStolen:         true,
+	TaskParked:         true,
+	TaskWoken:          true,
+	DataUnavailable:    true,
+	DataRestaged:       true,
+	NodeAdded:          true,
+	NodeRemoved:        true,
+	NodeFailed:         true,
+	NodeSlowed:         true,
+	NodeDrained:        true,
+	NodeUndrained:      true,
+	LinkCut:            true,
+	LinkHealed:         true,
+	CheckpointSaved:    true,
+	CheckpointRestored: true,
+}
+
+// WriteChromeTrace renders events as Chrome trace-event JSON. Spans come
+// from Timeline (including Open spans clamped to the horizon, marked
+// open=true in args); thread IDs are assigned to node names in sorted
+// order, so output is deterministic for a fixed event list.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	spans := Timeline(events)
+
+	// Node → tid, sorted for stable IDs. Nodes appearing only in
+	// milestones (a failed node whose spans all closed) still get a row.
+	nodeSet := make(map[string]struct{})
+	for _, s := range spans {
+		if s.Node != "" {
+			nodeSet[s.Node] = struct{}{}
+		}
+	}
+	for _, e := range events {
+		if milestoneKinds[e.Kind] && e.Node != "" {
+			nodeSet[e.Node] = struct{}{}
+		}
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	tid := make(map[string]int, len(nodes))
+	out := make([]chromeEvent, 0, len(spans)+2*len(nodes))
+	for i, n := range nodes {
+		tid[n] = i + 1
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]any{"name": n},
+		})
+	}
+
+	for _, s := range spans {
+		name := s.Label
+		if name == "" {
+			name = fmt.Sprintf("task %d", s.Task)
+		}
+		dur := usec(s.End) - usec(s.Start)
+		args := map[string]any{"task": s.Task}
+		if s.Open {
+			args["open"] = true
+		}
+		out = append(out, chromeEvent{
+			Name: name, Ph: "X", Ts: usec(s.Start), Dur: &dur,
+			Pid: 1, Tid: tid[s.Node], Args: args,
+		})
+	}
+
+	for _, e := range events {
+		if !milestoneKinds[e.Kind] {
+			continue
+		}
+		ev := chromeEvent{Name: string(e.Kind), Ph: "i", Ts: usec(e.At), Pid: 1, S: "g"}
+		if e.Node != "" {
+			ev.Tid = tid[e.Node]
+			ev.S = "t"
+		}
+		args := make(map[string]any)
+		if e.Task != 0 {
+			args["task"] = e.Task
+		}
+		if e.Info != "" {
+			args["info"] = e.Info
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		out = append(out, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeDoc{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// ExportChromeTrace renders the tracer's events as Chrome trace-event
+// JSON (see WriteChromeTrace). A nil tracer yields an empty document.
+func (t *Tracer) ExportChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Events())
+}
