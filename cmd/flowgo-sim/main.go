@@ -38,6 +38,7 @@ import (
 
 	"errors"
 
+	"repro/internal/autoscale"
 	"repro/internal/engine"
 	"repro/internal/engine/checkpoint"
 	"repro/internal/engine/faults"
@@ -87,7 +88,12 @@ func run() error {
 		scaleWidth    = flag.Int("scale-width", 0, "scale mode: independent chain count (0 = tasks/100)")
 		scaleInterval = flag.Duration("scale-interval", 2*time.Minute, "scale mode: virtual checkpoint interval")
 		benchOut      = flag.String("bench-out", "BENCH_scale.json", "scale/trace mode: report output path")
+		autoBench     = flag.Bool("autoscale-bench", false, "run the cost-aware vs legacy autoscale comparison and merge its section into -bench-out (also runs as part of -scale)")
 		noProbe       = flag.Bool("no-mutex-probe", false, "scale mode: skip the concurrent contention probe")
+
+		autoscaleStr = flag.String("autoscale", "off", `cost-aware autoscaling over elastic tiers: off | "tier[:max],..." with tiers hpc|cloud|fog (e.g. "cloud:4,fog:8")`)
+		tenantsN     = flag.Int("tenants", 0, "with -trace-gen: spread arrivals over this many tenant tags")
+		quota        = flag.Int("quota", 0, "per-tenant max in-flight tasks (admission control; 0 = off)")
 
 		traceFile = flag.String("trace", "", "replay this JSON-lines trace file instead of a workload")
 		traceGen  = flag.String("trace-gen", "", "generate and replay a temporal shape: poisson-burst | diurnal | heavy-tail")
@@ -162,6 +168,10 @@ func run() error {
 			cfg.Dir = dir
 		}
 		return runScale(cfg, *benchOut)
+	}
+
+	if *autoBench {
+		return runAutoscaleBench(*seed, *benchOut)
 	}
 
 	script, err := faults.Parse(*faultStr)
@@ -269,6 +279,24 @@ func run() error {
 		cfg.Metrics = reg
 		cfg.SampleEvery = *metricsEvery
 	}
+	// Cost-aware autoscaling over elastic tiers, and per-tenant admission.
+	if *autoscaleStr != "" && *autoscaleStr != "off" {
+		scaler, err := parseAutoscale(*autoscaleStr)
+		if err != nil {
+			return err
+		}
+		if reg != nil {
+			scaler.SetMetrics(obsv.NewAutoscaleMetrics(reg))
+		}
+		cfg.Autoscale = scaler
+	}
+	if *quota > 0 {
+		adm := autoscale.NewAdmission(autoscale.Quota{MaxInFlight: *quota})
+		if reg != nil {
+			adm.SetMetrics(obsv.NewAdmissionMetrics(reg))
+		}
+		cfg.Admission = adm
+	}
 	// Trace mode: replay a file or a freshly generated temporal shape.
 	// The trace carries its own arrival offsets (spec Release instants),
 	// durations and constraints; pool/policy/fault flags apply as usual.
@@ -288,6 +316,9 @@ func run() error {
 		gen.Seed = *seed
 		if set["tasks"] {
 			gen.Tasks = *tasks
+		}
+		if set["tenants"] {
+			gen.Tenants = *tenantsN
 		}
 		replayed, err = wtrace.Generate(gen)
 		if err != nil {
@@ -390,6 +421,7 @@ func run() error {
 	fmt.Printf("energy:          %.0f J active, %.0f J total\n", float64(res.ActiveEnergy), float64(res.TotalEnergy))
 	fmt.Printf("dep edges:       %d RAW\n", res.DepEdges.RAW)
 	fmt.Printf("wall time:       %v\n", time.Since(start).Round(time.Millisecond))
+	printScalingSummary(cfg)
 	if *gantt && tracer != nil {
 		spans := trace.Timeline(tracer.Events())
 		fmt.Printf("\nGantt (virtual time, digit = concurrent tasks):\n%s", trace.RenderASCII(spans, 72))
@@ -477,6 +509,7 @@ func runReplay(cfg infra.Config, tr *wtrace.Trace, name, poolDesc, policy, bench
 	fmt.Printf("data moved:      %.2f GB over %v\n", float64(res.BytesMoved)/1e9, res.TransferTime.Round(time.Second))
 	fmt.Printf("utilisation:     %.1f%%\n", res.Utilization*100)
 	fmt.Printf("wall time:       %v\n", time.Since(start).Round(time.Millisecond))
+	printScalingSummary(cfg)
 	sum.WriteText(os.Stdout)
 
 	if writeBench {
@@ -531,6 +564,15 @@ func runScale(cfg scalebench.Config, out string) error {
 		fmt.Printf("mutex probe:     %.3fms total wait over %d ops × %d goroutines (%.1f ns/op)\n",
 			rep.Contention.WaitSeconds*1e3, rep.Contention.Ops, rep.Contention.Goroutines, rep.Contention.WaitPerOpNS)
 	}
+	auto, err := scalebench.RunAutoscale(scalebench.AutoscaleConfig{
+		Seed:     cfg.Seed,
+		Progress: func(line string) { fmt.Fprintln(os.Stderr, "autoscale:", line) },
+	})
+	if err != nil {
+		return err
+	}
+	rep.Autoscale = auto
+	printAutoscale(auto)
 	if err := rep.WriteJSON(out); err != nil {
 		return err
 	}
@@ -538,6 +580,39 @@ func runScale(cfg scalebench.Config, out string) error {
 	if rep.Restore != nil && !rep.Restore.OK {
 		return fmt.Errorf("restore verification failed: %d/%d completions reconstructed", rep.Restore.Completed, cfg.Tasks)
 	}
+	return nil
+}
+
+func printAutoscale(rep *scalebench.AutoscaleReport) {
+	for _, sh := range rep.Shapes {
+		fmt.Printf("autoscale %-13s legacy %.2f vs cost-aware %.2f per 1k tasks (%.2fx cheaper)\n",
+			sh.Shape+":", sh.Legacy.CostPer1kTasks, sh.CostAware.CostPer1kTasks, sh.LegacyOverCostAware)
+	}
+}
+
+// runAutoscaleBench runs just the cost-aware vs legacy scaling
+// comparison and merges its section into the bench report at out,
+// preserving whatever the last full -scale run wrote there.
+func runAutoscaleBench(seed int64, out string) error {
+	auto, err := scalebench.RunAutoscale(scalebench.AutoscaleConfig{
+		Seed:     seed,
+		Progress: func(line string) { fmt.Fprintln(os.Stderr, "autoscale:", line) },
+	})
+	if err != nil {
+		return err
+	}
+	printAutoscale(auto)
+	full := &scalebench.Report{Schema: scalebench.Schema}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, full); err != nil {
+			return fmt.Errorf("merge into %s: %w", out, err)
+		}
+	}
+	full.Autoscale = auto
+	if err := full.WriteJSON(out); err != nil {
+		return err
+	}
+	fmt.Printf("report:          %s\n", out)
 	return nil
 }
 
@@ -570,6 +645,72 @@ func startProfiles(dir string) (func(), error) {
 			f.Close()
 		}
 	}, nil
+}
+
+// parseAutoscale reads the -autoscale flag: a comma-separated list of
+// elastic tiers, each "tier" or "tier:max", and builds the cost-aware
+// autoscaler over them. Costs and provisioning delays are the tier
+// defaults the benchmarks use (HPC expensive and slow to provision,
+// fog cheap and nearly instant).
+func parseAutoscale(s string) (*autoscale.Autoscaler, error) {
+	type tier struct {
+		desc  resources.Description
+		cost  float64
+		delay time.Duration
+		max   int
+	}
+	tiers := map[string]tier{
+		"hpc":   {resources.MareNostrumNode, 6.0, 2 * time.Minute, 4},
+		"cloud": {resources.CloudVM, 1.0, 30 * time.Second, 8},
+		"fog":   {resources.FogDevice, 0.25, 5 * time.Second, 16},
+	}
+	var variants []autoscale.Variant
+	for _, part := range strings.Split(s, ",") {
+		name, maxStr, bounded := strings.Cut(strings.TrimSpace(part), ":")
+		t, ok := tiers[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown autoscale tier %q (want hpc | cloud | fog)", name)
+		}
+		if bounded {
+			n, err := strconv.Atoi(maxStr)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("bad autoscale tier limit %q", part)
+			}
+			t.max = n
+		}
+		variants = append(variants, autoscale.Variant{
+			Name: name, Desc: t.desc,
+			Manager: resources.NewElasticManager(
+				resources.NewSimProvider(name, t.desc, t.max, t.delay),
+				resources.ScalePolicy{MaxNodes: t.max, TasksPerCore: 2, CostPerNodeHour: t.cost},
+			),
+		})
+	}
+	return autoscale.New(autoscale.DefaultPolicy(), variants)
+}
+
+// printScalingSummary reports what the autoscaler and the admission
+// controller did during the run.
+func printScalingSummary(cfg infra.Config) {
+	if cfg.Autoscale != nil {
+		grow, shrink, hold := 0, 0, 0
+		for _, d := range cfg.Autoscale.Decisions() {
+			switch {
+			case d.Delta > 0:
+				grow++
+			case d.Delta < 0:
+				shrink++
+			default:
+				hold++
+			}
+		}
+		fmt.Printf("autoscale:       %d grow, %d shrink, %d hold decisions\n", grow, shrink, hold)
+	}
+	if cfg.Admission != nil {
+		st := cfg.Admission.Stats()
+		fmt.Printf("admission:       %d admitted, %d queued, %d released, %d rejected\n",
+			st.Admitted, st.Queued, st.Released, st.Rejected)
+	}
 }
 
 // parseSteal reads the -steal flag: off, on-idle, or threshold:<n>.

@@ -1,0 +1,240 @@
+package autoscale
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestAdmissionQuota: the in-flight cap admits, the queue bound rejects,
+// and completions promote queued work FIFO within a tenant.
+func TestAdmissionQuota(t *testing.T) {
+	ad := NewAdmission(Quota{MaxInFlight: 2, MaxQueued: 2})
+	got := []Outcome{}
+	for i := 0; i < 6; i++ {
+		got = append(got, ad.Submit("a", i))
+	}
+	want := []Outcome{Admitted, Admitted, Queued, Queued, Rejected, Rejected}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("submit %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	rel := ad.Complete("a")
+	if len(rel) != 1 || rel[0].Tenant != "a" || rel[0].Payload != 2 {
+		t.Fatalf("first release = %+v, want payload 2 (FIFO)", rel)
+	}
+	rel = ad.Complete("a")
+	if len(rel) != 1 || rel[0].Payload != 3 {
+		t.Fatalf("second release = %+v, want payload 3", rel)
+	}
+	st := ad.Stats()
+	if st.Admitted != 2 || st.Queued != 2 || st.Rejected != 2 || st.Released != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.InFlight != 2 || st.QueuedNow != 0 {
+		t.Fatalf("occupancy = %+v, want 2 in flight, empty queue", st)
+	}
+}
+
+// TestAdmissionUnlimited: a zero quota only counts.
+func TestAdmissionUnlimited(t *testing.T) {
+	ad := NewAdmission(Quota{})
+	for i := 0; i < 100; i++ {
+		if out := ad.Submit("t", i); out != Admitted {
+			t.Fatalf("submit %d = %v with no quota", i, out)
+		}
+	}
+	if st := ad.Stats(); st.Admitted != 100 || st.InFlight != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAdmissionWeightedFairness: while two tenants contend for a shared
+// MaxTotal bound, releases converge to the weight ratio.
+func TestAdmissionWeightedFairness(t *testing.T) {
+	ad := NewAdmission(Quota{MaxTotal: 1, Weights: map[string]float64{"heavy": 3, "light": 1}})
+	// One admitted token, then a deep backlog for both tenants. Each
+	// completion frees exactly one slot of the shared bound, and the
+	// freed slot goes to whichever tenant has the least weighted
+	// service — the point where the weights decide.
+	if out := ad.Submit("heavy", -1); out != Admitted {
+		t.Fatalf("seed submit = %v", out)
+	}
+	for i := 0; i < 60; i++ {
+		ad.Submit("heavy", i)
+		ad.Submit("light", i)
+	}
+	counts := map[string]int{}
+	cur := "heavy"
+	for i := 0; i < 48; i++ {
+		rel := ad.Complete(cur)
+		if len(rel) != 1 {
+			t.Fatalf("iteration %d: %d releases from one freed slot", i, len(rel))
+		}
+		counts[rel[0].Tenant]++
+		cur = rel[0].Tenant
+	}
+	h, l := counts["heavy"], counts["light"]
+	// Stride scheduling at weights 3:1 over a backlogged window: the
+	// heavy tenant's share must land near 75%.
+	share := float64(h) / float64(h+l)
+	if share < 0.65 || share > 0.85 {
+		t.Fatalf("heavy share = %.2f (heavy %d, light %d), want ≈ 0.75", share, h, l)
+	}
+}
+
+// TestAdmissionPerTenantLanes pins the per-tenant-cap-only semantics:
+// without a MaxTotal bound every freed slot belongs to the tenant that
+// freed it, so two backlogged tenants drain independently and weights
+// never reorder anything.
+func TestAdmissionPerTenantLanes(t *testing.T) {
+	ad := NewAdmission(Quota{MaxInFlight: 1, Weights: map[string]float64{"heavy": 3}})
+	for i := 0; i < 4; i++ {
+		ad.Submit("heavy", i)
+		ad.Submit("light", i)
+	}
+	for i := 0; i < 3; i++ {
+		for _, tenant := range []string{"heavy", "light"} {
+			rel := ad.Complete(tenant)
+			if len(rel) != 1 || rel[0].Tenant != tenant {
+				t.Fatalf("round %d: Complete(%s) released %+v, want own-lane release", i, tenant, rel)
+			}
+		}
+	}
+}
+
+// TestAdmissionDeterministicOrder: equal service ties release in tenant
+// name order, so a replay of the same operation sequence releases the
+// same payloads in the same order.
+func TestAdmissionDeterministicOrder(t *testing.T) {
+	run := func() []string {
+		ad := NewAdmission(Quota{MaxInFlight: 1})
+		for _, tenant := range []string{"c", "a", "b"} {
+			ad.Submit(tenant, tenant+"-0")
+			ad.Submit(tenant, tenant+"-1")
+		}
+		var order []string
+		for _, tenant := range []string{"a", "b", "c", "a", "b", "c"} {
+			for _, r := range ad.Complete(tenant) {
+				order = append(order, fmt.Sprint(r.Payload))
+			}
+		}
+		return order
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("no releases")
+	}
+	for i := 0; i < 5; i++ {
+		if got := run(); fmt.Sprint(got) != fmt.Sprint(first) {
+			t.Fatalf("release order not deterministic: %v vs %v", got, first)
+		}
+	}
+}
+
+// TestAdmissionChurnProperty drives 2500 seeded random submit/complete
+// steps across bursty tenants and checks the quota invariants the
+// runtime depends on after every step: per-tenant in-flight never
+// exceeds the cap, the wait queue never exceeds its bound, occupancy
+// counters never go negative, and the books balance (admissions +
+// releases = completions + in-flight).
+func TestAdmissionChurnProperty(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const (
+				steps       = 2500
+				maxInFlight = 3
+				maxQueued   = 5
+			)
+			ad := NewAdmission(Quota{
+				MaxInFlight: maxInFlight,
+				MaxQueued:   maxQueued,
+				Weights:     map[string]float64{"a": 2, "b": 1, "c": 1},
+			})
+			tenants := []string{"a", "b", "c", ""}
+			inflight := map[string]int{} // model: admitted-not-completed per tenant
+			completions := 0
+			for step := 0; step < steps; step++ {
+				tenant := tenants[rng.Intn(len(tenants))]
+				key := tenant
+				if key == "" {
+					key = DefaultTenant
+				}
+				// Bursts: sometimes slam one tenant with a whole batch.
+				n := 1
+				if rng.Intn(10) == 0 {
+					n = 5 + rng.Intn(10)
+				}
+				if rng.Intn(3) == 0 && inflight[key] > 0 {
+					for _, r := range ad.Complete(tenant) {
+						inflight[r.Tenant]++
+					}
+					inflight[key]--
+					completions++
+				} else {
+					for i := 0; i < n; i++ {
+						switch ad.Submit(tenant, step) {
+						case Admitted:
+							inflight[key]++
+						case Queued, Rejected:
+						}
+					}
+				}
+				st := ad.Stats()
+				for k, v := range inflight {
+					if v > maxInFlight {
+						t.Fatalf("step %d: tenant %s has %d in flight (cap %d)", step, k, v, maxInFlight)
+					}
+					if v < 0 {
+						t.Fatalf("step %d: tenant %s in-flight went negative", step, k)
+					}
+				}
+				if st.InFlight < 0 || st.QueuedNow < 0 {
+					t.Fatalf("step %d: negative occupancy %+v", step, st)
+				}
+				if st.QueuedNow > maxQueued*len(tenants) {
+					t.Fatalf("step %d: queue %d exceeds %d tenants × bound %d", step, st.QueuedNow, len(tenants), maxQueued)
+				}
+				if st.Admitted+st.Released != completions+st.InFlight {
+					t.Fatalf("step %d: books don't balance: %+v vs %d completions", step, st, completions)
+				}
+			}
+		})
+	}
+}
+
+// TestAdmissionConcurrent hammers Submit/Complete from many goroutines
+// (race-detector food) and checks the final books balance.
+func TestAdmissionConcurrent(t *testing.T) {
+	ad := NewAdmission(Quota{MaxInFlight: 4, Weights: map[string]float64{"g0": 2}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("g%d", g%3)
+			for i := 0; i < 200; i++ {
+				switch ad.Submit(tenant, i) {
+				case Admitted:
+					for _, r := range ad.Complete(tenant) {
+						// Promoted tasks complete immediately too.
+						ad.Complete(r.Tenant)
+					}
+				case Rejected, Queued:
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := ad.Stats()
+	if st.InFlight < 0 || st.QueuedNow < 0 {
+		t.Fatalf("negative occupancy after churn: %+v", st)
+	}
+	if st.Released > st.Queued {
+		t.Fatalf("released %d > queued %d", st.Released, st.Queued)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/deps"
 	"repro/internal/engine"
 	"repro/internal/engine/checkpoint"
@@ -53,6 +54,12 @@ var (
 	ErrUnplaceable = errors.New("core: no node can satisfy task constraints")
 	// ErrArity is returned when a task returns the wrong number of values.
 	ErrArity = errors.New("core: wrong number of return values")
+	// ErrQuotaRejected reports a submission the admission controller
+	// refused: the tenant was at its in-flight cap with a full wait
+	// queue (Config.Admission, Quota.MaxQueued). Submit returns it;
+	// SubmitAll resolves the rejected request's Future with it while the
+	// rest of the batch proceeds.
+	ErrQuotaRejected = errors.New("core: submission rejected by admission quota")
 )
 
 // TaskFunc is the body of a task. Args are materialised parameter values in
@@ -221,6 +228,20 @@ type Config struct {
 	// registered on this registry; serve it with obsv.Serve or sample it
 	// with Runtime.StartSampler. Optional.
 	Metrics *obsv.Registry
+	// Autoscale enables cost-aware pool scaling across heterogeneous
+	// tiers — the same autoscaler the simulator takes, evaluated here on
+	// the wall clock. Arm it with Runtime.StartAutoscaler or drive
+	// evaluations manually with Runtime.AutoscaleStep (the parity
+	// suite's route).
+	Autoscale *autoscale.Autoscaler
+	// Admission, when set, gates submissions behind per-tenant quotas: a
+	// submission over its tenant's in-flight cap is registered but held
+	// invisible to the scheduler until completions free a slot and
+	// weighted fair ordering picks it; past the tenant's queue bound it
+	// is rejected with ErrQuotaRejected. Submissions the restore
+	// snapshot records as completed bypass quota — they resolve without
+	// executing.
+	Admission *autoscale.Admission
 }
 
 // versionSlot holds one produced value.
@@ -266,10 +287,14 @@ type Runtime struct {
 	group    map[deps.Version][]*Future   // commutative member futures per version
 	restore  *restoreState
 	restored int
-	restaged int // replicas re-staged by a placement-aware restore seed
+	restaged int              // replicas re-staged by a placement-aware restore seed
+	tenants  map[int64]string // admission tenant per in-flight task
 	nextTask int64
 	nextData int64
 	stopped  bool
+
+	autoStop chan struct{} // closes to stop the autoscale ticker
+	autoDone chan struct{} // closed when the ticker goroutine exits
 
 	wg    sync.WaitGroup // running task goroutines
 	epoch time.Time      // trace-event time base
@@ -313,6 +338,14 @@ func New(cfg Config) *Runtime {
 			Predictor: cfg.Predictor,
 		},
 	})
+	if cfg.Autoscale != nil {
+		// Downscale victims are cordoned through the engine, so the drain
+		// lands on the scheduler's books (and the trace) before removal.
+		cfg.Autoscale.SetCordon(rt.eng.DrainNode)
+	}
+	if cfg.Admission != nil {
+		rt.tenants = make(map[int64]string)
+	}
 	if cfg.Restore != nil {
 		rt.applyRestoreSeed(cfg.Restore)
 	}
@@ -536,7 +569,38 @@ func (rt *Runtime) buildTaskLocked(id int64, def TaskDef, params []Param, res de
 	return t
 }
 
-// Submit invokes a registered task asynchronously.
+// quotaLocked runs one submission through the admission controller:
+// the returned hold count keeps a queued task invisible to the
+// scheduler until a completion promotes it. Submissions the restore
+// snapshot records as completed bypass quota — they resolve without
+// executing, so charging a slot would leak it. Caller holds rt.mu.
+func (rt *Runtime) quotaLocked(id int64, tenant string) (holds int, out autoscale.Outcome) {
+	if rt.cfg.Admission == nil {
+		return 0, autoscale.Admitted
+	}
+	if rt.restore != nil {
+		if _, ok := rt.restore.completed[id]; ok {
+			return 0, autoscale.Admitted
+		}
+	}
+	switch out = rt.cfg.Admission.Submit(tenant, id); out {
+	case autoscale.Queued:
+		rt.tenants[id] = tenant
+		rt.eng.RecordAdmission(1, 0)
+		return 1, out
+	case autoscale.Rejected:
+		rt.eng.RecordAdmission(0, 1)
+		return 0, out
+	default:
+		rt.tenants[id] = tenant
+		return 0, out
+	}
+}
+
+// Submit invokes a registered task asynchronously (default tenant; use
+// SubmitAll with TaskReq.Tenant for per-tenant accounting). Returns
+// ErrQuotaRejected when the admission controller refuses the
+// submission.
 func (rt *Runtime) Submit(name string, params ...Param) (*Future, error) {
 	rt.mu.Lock()
 	def, err := rt.admitLocked(name)
@@ -546,13 +610,19 @@ func (rt *Runtime) Submit(name string, params ...Param) (*Future, error) {
 	}
 	rt.nextTask++
 	id := rt.nextTask
+	holds, out := rt.quotaLocked(id, "")
+	if out == autoscale.Rejected {
+		rt.nextTask-- // the ID was never registered anywhere
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrQuotaRejected, name)
+	}
 	params, accesses := normalizeParams(params)
 	res := rt.proc.Register(deps.TaskID(id), accesses)
 	t := rt.buildTaskLocked(id, def, params, res)
 	// The engine counts only dependencies whose producer has not already
 	// finished; rt.mu is held through Add so a dependent can never slip in
 	// ahead of its producer's registration.
-	ready := rt.eng.Add(&t.et, res.Deps, 0)
+	ready := rt.eng.Add(&t.et, res.Deps, holds)
 	if rt.tryRestoreLocked(t) {
 		ready = false
 	}
@@ -569,13 +639,21 @@ type TaskReq struct {
 	Name string
 	// Params bind the invocation's arguments.
 	Params []Param
+	// Tenant attributes the invocation for admission control
+	// (Config.Admission); empty means the default tenant.
+	Tenant string
 }
 
 // SubmitAll submits a batch of invocations under one lock round-trip:
 // the whole batch is admitted, registered through the access processor's
 // batch path and added to the engine in one acquisition each, then a
 // single placement wave runs. Requests may depend on earlier batch
-// members. On error nothing is registered and no future is returned.
+// members. On a definition error (unknown name, unplaceable
+// constraints) nothing is registered and no future is returned. A
+// per-tenant quota rejection (Config.Admission) is per-request instead:
+// the rejected request's Future comes back already resolved with
+// ErrQuotaRejected, it is never registered — dependents read the data's
+// previous version — and the rest of the batch proceeds.
 func (rt *Runtime) SubmitAll(reqs []TaskReq) ([]*Future, error) {
 	if len(reqs) == 0 {
 		return nil, nil
@@ -590,28 +668,44 @@ func (rt *Runtime) SubmitAll(reqs []TaskReq) ([]*Future, error) {
 		}
 		defs[i] = def
 	}
-	base := rt.nextTask
-	rt.nextTask += int64(len(reqs))
-	norm := make([][]Param, len(reqs))
-	batch := make([]deps.TaskAccesses, len(reqs))
+	futures := make([]*Future, len(reqs))
+	accepted := make([]int, 0, len(reqs)) // indices into reqs
+	ids := make([]int64, 0, len(reqs))
+	holds := make([]int, 0, len(reqs))
 	for i, r := range reqs {
-		params, accesses := normalizeParams(r.Params)
-		norm[i] = params
-		batch[i] = deps.TaskAccesses{Task: deps.TaskID(base + int64(i) + 1), Accesses: accesses}
+		rt.nextTask++
+		id := rt.nextTask
+		h, out := rt.quotaLocked(id, r.Tenant)
+		if out == autoscale.Rejected {
+			rt.nextTask-- // the ID was never registered anywhere
+			f := &Future{done: make(chan struct{})}
+			f.complete(nil, fmt.Errorf("%w: batch task %d (%s)", ErrQuotaRejected, i, r.Name))
+			futures[i] = f
+			continue
+		}
+		accepted = append(accepted, i)
+		ids = append(ids, id)
+		holds = append(holds, h)
+	}
+	norm := make([][]Param, len(accepted))
+	batch := make([]deps.TaskAccesses, len(accepted))
+	for j, i := range accepted {
+		params, accesses := normalizeParams(reqs[i].Params)
+		norm[j] = params
+		batch[j] = deps.TaskAccesses{Task: deps.TaskID(ids[j]), Accesses: accesses}
 	}
 	results := rt.proc.RegisterBatch(batch)
-	futures := make([]*Future, len(reqs))
-	ets := make([]*engine.Task, len(reqs))
-	tasks := make([]*rtTask, len(reqs))
-	prods := make([][]deps.TaskID, len(reqs))
-	for i := range reqs {
-		t := rt.buildTaskLocked(base+int64(i)+1, defs[i], norm[i], results[i])
+	ets := make([]*engine.Task, len(accepted))
+	tasks := make([]*rtTask, len(accepted))
+	prods := make([][]deps.TaskID, len(accepted))
+	for j, i := range accepted {
+		t := rt.buildTaskLocked(ids[j], defs[i], norm[j], results[j])
 		futures[i] = t.future
-		ets[i] = &t.et
-		tasks[i] = t
-		prods[i] = results[i].Deps
+		ets[j] = &t.et
+		tasks[j] = t
+		prods[j] = results[j].Deps
 	}
-	ready := rt.eng.AddBatch(ets, prods)
+	ready := rt.eng.AddBatchHolds(ets, prods, holds)
 	for _, t := range tasks {
 		rt.tryRestoreLocked(t)
 	}
@@ -819,20 +913,28 @@ func (rt *Runtime) execute(ctx context.Context, cancel context.CancelFunc, t *rt
 	// runs the next placement wave. A stale completion — the placement was
 	// invalidated by a fault — is rejected; the relaunched execution owns
 	// the future and the books.
-	var ok bool
+	var (
+		comp engine.Completion
+		ok   bool
+	)
 	if rt.ckpt != nil {
 		// Complete and notify the checkpointer before the next placement
 		// wave, so an every-N policy captures the same post-completion,
 		// pre-placement state the simulator captures.
-		if _, ok = rt.eng.Complete(t.et.ID, epoch, err != nil); ok {
+		if comp, ok = rt.eng.Complete(t.et.ID, epoch, err != nil); ok {
 			rt.ckpt.TaskCompleted()
 		}
 		rt.eng.Schedule()
 	} else {
-		_, ok = rt.eng.CompleteSchedule(t.et.ID, epoch, err != nil)
+		comp, ok = rt.eng.CompleteSchedule(t.et.ID, epoch, err != nil)
 	}
 	if !ok {
 		return
+	}
+	if comp.First {
+		// Only the first completion returns the quota slot — recovery
+		// re-executions were never re-admitted.
+		rt.releaseAdmitted(t.et.ID)
 	}
 	if rt.cfg.Predictor != nil && err == nil {
 		rt.cfg.Predictor.Observe(t.def.Name, 0, elapsed)
@@ -846,6 +948,35 @@ func (rt *Runtime) execute(ctx context.Context, cancel context.CancelFunc, t *rt
 		rt.mu.Unlock()
 	}
 	t.future.complete(vals, err)
+}
+
+// releaseAdmitted returns a finished task's quota slot to the admission
+// controller and lifts the synthetic holds of whatever queued
+// submissions the freed slot promotes (possibly other tenants' — fair
+// ordering decides). No-op for tasks that never went through admission
+// (no controller configured, or the restore bypass).
+func (rt *Runtime) releaseAdmitted(id int64) {
+	if rt.cfg.Admission == nil {
+		return
+	}
+	rt.mu.Lock()
+	tenant, admitted := rt.tenants[id]
+	delete(rt.tenants, id)
+	rt.mu.Unlock()
+	if !admitted {
+		return
+	}
+	woke := false
+	for _, rel := range rt.cfg.Admission.Complete(tenant) {
+		if rid, isID := rel.Payload.(int64); isID {
+			if rt.eng.ReleaseHold(rid) {
+				woke = true
+			}
+		}
+	}
+	if woke {
+		rt.eng.Schedule()
+	}
 }
 
 // WaitOn synchronises on the newest version of a handle and returns its
@@ -981,6 +1112,60 @@ func (rt *Runtime) CurrentVersion(h *Handle) deps.Version {
 	return rt.proc.CurrentVersion(h.id)
 }
 
+// AutoscaleStep runs one cost-aware autoscale evaluation against the
+// engine's current signals and applies the decision — the live
+// counterpart of Sim.AutoscaleStep, down to the trace events, so the
+// parity suite can compare decision sequences one-to-one. Grown and
+// reclaimed capacity is usable immediately (a logical pool has no
+// provisioning delay); removal is final, the drain having landed
+// through the engine cordon beforehand. Normally driven by
+// StartAutoscaler's ticker; exported for tests that control instants.
+func (rt *Runtime) AutoscaleStep() autoscale.Action {
+	act := rt.cfg.Autoscale.Step(rt.cfg.Pool, autoscale.Snapshot(rt.eng, rt.cfg.Pool, rt.now()))
+	switch act.Kind {
+	case autoscale.Reclaimed:
+		rt.cfg.Tracer.Record(trace.Event{At: rt.now(), Kind: trace.NodeUndrained, Node: act.Node.Name()})
+		rt.eng.RevalidateAvailability()
+	case autoscale.Grew:
+		rt.cfg.Tracer.Record(trace.Event{At: rt.now(), Kind: trace.NodeAdded, Node: act.Node.Name()})
+		// The new node may be the first that can reach parked data:
+		// re-validate along with the placement wave.
+		rt.eng.RevalidateAvailability()
+	case autoscale.Removed:
+		rt.cfg.Tracer.Record(trace.Event{At: rt.now(), Kind: trace.NodeRemoved, Node: act.Node.Name()})
+	}
+	return act
+}
+
+// StartAutoscaler arms a wall-clock ticker driving one AutoscaleStep
+// every interval, until Shutdown. No-op without Config.Autoscale or
+// when already started.
+func (rt *Runtime) StartAutoscaler(every time.Duration) {
+	if rt.cfg.Autoscale == nil {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.autoStop != nil || rt.stopped {
+		return
+	}
+	stop, done := make(chan struct{}), make(chan struct{})
+	rt.autoStop, rt.autoDone = stop, done
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				rt.AutoscaleStep()
+			}
+		}
+	}()
+}
+
 // Shutdown drains running tasks. Pending-but-unstarted tasks still run;
 // new submissions fail with ErrShutdown.
 func (rt *Runtime) Shutdown() {
@@ -991,7 +1176,13 @@ func (rt *Runtime) Shutdown() {
 		return
 	}
 	rt.stopped = true
+	stop, done := rt.autoStop, rt.autoDone
+	rt.autoStop, rt.autoDone = nil, nil
 	rt.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 
 	rt.Barrier()
 	rt.wg.Wait()

@@ -292,6 +292,14 @@ type Stats struct {
 	// AvailRecompute placement decisions (every one also shows up in
 	// Reexecuted when the producer had completed before).
 	AvailRecomputes int
+	// AdmitQueued counts submissions the admission controller held back
+	// for a freed quota slot; AdmitRejected counts submissions it refused
+	// outright (per-tenant queue bound exceeded). The engine never queues
+	// or rejects itself — backends record outcomes through
+	// RecordAdmission so both counters ride the same consistent snapshot
+	// as the scheduling counters.
+	AdmitQueued   int
+	AdmitRejected int
 }
 
 // Completion reports the outcome of a live Complete call.
@@ -476,6 +484,54 @@ func (e *Engine) Stats() Stats {
 	return e.stats
 }
 
+// RecordAdmission adds admission-control outcomes to the engine's books.
+// The admission layer sits in front of submission (internal/autoscale),
+// so the backends report its queue/reject counts here rather than the
+// engine observing them itself.
+func (e *Engine) RecordAdmission(queued, rejected int) {
+	e.mu.Lock()
+	e.stats.AdmitQueued += queued
+	e.stats.AdmitRejected += rejected
+	e.mu.Unlock()
+}
+
+// SigLoad is one non-empty ready bucket's demand and supply snapshot:
+// how many tasks of the signature are queued, and how many pool nodes
+// could currently fit one (Fit, the index's exact saturation counter)
+// or are capable at all (Capable, cordons and load ignored). A starved
+// signature — Ready > 0, Capable == 0 — is the autoscaler's strongest
+// grow signal: queued work no pool node could ever take. Fit == 0 with
+// Capable > 0 is mere saturation.
+type SigLoad struct {
+	Sig         string
+	Constraints resources.Constraints
+	Ready       int
+	Fit         int
+	Capable     int
+}
+
+// SigLoads returns one entry per non-empty ready bucket, in signature
+// order — deterministic for a given engine state. Constraints are taken
+// from the bucket's head task (placeability depends only on the
+// signature, so any member's constraints are the signature's).
+func (e *Engine) SigLoads() []SigLoad {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SigLoad, 0, len(e.sigs))
+	for _, b := range e.sigs {
+		if len(b.q) == 0 {
+			continue
+		}
+		c := e.tasks[b.q[0]].Constraints
+		si := e.cfg.Pool.IndexForSig(b.sig, c)
+		out = append(out, SigLoad{
+			Sig: b.sig, Constraints: c,
+			Ready: len(b.q), Fit: si.FitCount(), Capable: si.Len(),
+		})
+	}
+	return out
+}
+
 // Timing is one task's latency milestones on the engine clock. Every
 // field after Submit is the FIRST time the transition happened — a
 // recovery re-execution never rewrites them — and is -1 when the task
@@ -532,11 +588,24 @@ func (e *Engine) Add(t *Task, producers []deps.TaskID, holds int) bool {
 // task went straight to the ready queue (in which case the caller should
 // Schedule once).
 func (e *Engine) AddBatch(ts []*Task, producers [][]deps.TaskID) bool {
+	return e.AddBatchHolds(ts, producers, nil)
+}
+
+// AddBatchHolds is AddBatch with per-task synthetic holds: holds[i]
+// extra dependencies on ts[i], cleared later through ReleaseHold. A nil
+// holds slice means no holds anywhere — admission-gated batch
+// submission uses this to keep over-quota tasks invisible to the
+// scheduler while the rest of the batch proceeds.
+func (e *Engine) AddBatchHolds(ts []*Task, producers [][]deps.TaskID, holds []int) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	ready := false
 	for i, t := range ts {
-		if e.addLocked(t, producers[i], 0) {
+		h := 0
+		if holds != nil {
+			h = holds[i]
+		}
+		if e.addLocked(t, producers[i], h) {
 			ready = true
 		}
 	}

@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// formatScenario renders a scenario back into the -faults grammar.
+// Parse's documented grammar limits (no '-' in cut/heal's first
+// endpoint, slow splits at the last 'x', factors are numeric) guarantee
+// the rendering re-parses to the same scenario.
+func formatScenario(sc Scenario) string {
+	parts := make([]string, len(sc))
+	for i, ev := range sc {
+		var target string
+		switch ev.Kind {
+		case Slow:
+			target = fmt.Sprintf("%sx%g", ev.Node, ev.Factor)
+		case Cut, HealLink:
+			target = ev.Node + "-" + ev.Peer
+		default:
+			target = ev.Node
+		}
+		parts[i] = fmt.Sprintf("%s@%s:%s", ev.Kind, ev.At, target)
+	}
+	return strings.Join(parts, ",")
+}
+
+// FuzzParse throws arbitrary scripts at the -faults grammar. Parse must
+// never panic; a script it accepts must already be structurally valid
+// (the arm-time contract), and rendering the parsed scenario back into
+// the grammar must re-parse to a scenario that renders identically — so
+// a script echoed into logs or configs stays loadable. The comparison
+// is on the rendered form, not the structs, because a NaN slow factor
+// is accepted (NaN is not <= 0) and never compares equal to itself.
+func FuzzParse(f *testing.F) {
+	f.Add("crash@2s:n0,slow@3s:n1x2,cut@4s:n0-n2")
+	f.Add("heal@1m30s:hpc003-fog7,drain@0s:n1")
+	f.Add("slow@5s:nx1x0.5") // node name ending in x1: last-x split
+	f.Add("slow@1s:n1xNaN")
+	f.Add("crash@2s:a:b@c") // ':' and '@' inside a node name
+	f.Add(" crash@1h : n0 , drain@2h:n1 ")
+	f.Add("cut@1s:a-b-c") // peer keeps its '-'
+	f.Add("crash@-1s:n0")
+	f.Add("boom@1s:n0")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, script string) {
+		sc, err := Parse(script)
+		if err != nil {
+			return // rejected script: fine, as long as we did not panic
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("Parse accepted a scenario Validate rejects: %v\nscript: %q", err, script)
+		}
+		rendered := formatScenario(sc)
+		sc2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parsing our own rendering failed: %v\nscript: %q\nrendered: %q", err, script, rendered)
+		}
+		if r2 := formatScenario(sc2); r2 != rendered {
+			t.Fatalf("rendering is not a fixpoint:\nfirst:  %q\nsecond: %q\nscript: %q", rendered, r2, script)
+		}
+		if len(sc2) != len(sc) {
+			t.Fatalf("round trip changed event count: %d -> %d (script %q)", len(sc), len(sc2), script)
+		}
+	})
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/deps"
 	"repro/internal/energy"
 	"repro/internal/engine"
@@ -60,6 +61,9 @@ type TaskSpec struct {
 	// Release keeps the task invisible to the scheduler until this
 	// virtual instant (bursty arrivals, e.g. sensor-driven workloads).
 	Release time.Duration
+	// Tenant tags the task for admission control (Config.Admission);
+	// empty means the default tenant.
+	Tenant string
 }
 
 // Failure kills a node at a virtual instant (experiment E7: "part of the
@@ -139,6 +143,17 @@ type Config struct {
 	Elastic *resources.ElasticManager
 	// ElasticEvery is the evaluation period (default 10s).
 	ElasticEvery time.Duration
+	// Autoscale enables cost-aware scaling across heterogeneous tiers;
+	// evaluated on the same ElasticEvery period. Mutually exclusive with
+	// Elastic — the autoscaler owns every variant's ElasticManager.
+	Autoscale *autoscale.Autoscaler
+	// Admission, when set, gates task visibility behind per-tenant
+	// quotas: a task over its tenant's in-flight cap waits (via the same
+	// synthetic-hold mechanism as Release) until completions free a slot
+	// and weighted fair ordering picks it. The simulator requires an
+	// unbounded admission queue (Quota.MaxQueued == 0): a preregistered
+	// workload has no client to bounce a rejection back to.
+	Admission *autoscale.Admission
 	// DisableRenaming turns off data-version renaming in the access
 	// processor, so WAR/WAW false dependencies serialise the graph
 	// (ablation A1 in DESIGN.md §6).
@@ -214,6 +229,9 @@ type Sim struct {
 
 	result        Result
 	releases      []release
+	tenantOf      map[int64]string
+	admitStart    []int64
+	restored      map[int64]bool
 	nodeAdded     map[string]time.Duration
 	remaining     int
 	schedDeferred bool
@@ -252,6 +270,12 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 	if cfg.ElasticEvery <= 0 {
 		cfg.ElasticEvery = 10 * time.Second
 	}
+	if cfg.Elastic != nil && cfg.Autoscale != nil {
+		return nil, fmt.Errorf("%w: Elastic and Autoscale are mutually exclusive", ErrConfig)
+	}
+	if cfg.Admission != nil && cfg.Admission.Quota().MaxQueued > 0 {
+		return nil, fmt.Errorf("%w: the simulator requires an unbounded admission queue (Quota.MaxQueued == 0)", ErrConfig)
+	}
 	var procOpts []deps.Option
 	if cfg.DisableRenaming {
 		procOpts = append(procOpts, deps.WithoutRenaming())
@@ -264,6 +288,9 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 		proc:      deps.NewProcessor(procOpts...),
 		nodeAdded: make(map[string]time.Duration),
 		remaining: len(specs),
+	}
+	if cfg.Admission != nil {
+		s.tenantOf = make(map[int64]string, len(specs))
 	}
 	if cfg.Metrics != nil && cfg.SampleEvery > 0 {
 		s.smp = obsv.NewSampler(cfg.Metrics)
@@ -341,11 +368,21 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 				s.reg.SetSize(k, size)
 			}
 		}
+		// Release delays and admission gating share one synthetic
+		// dependency: a released task re-submits through the admission
+		// controller, so a tenant over quota stays held past its release
+		// instant until a completion frees a slot.
 		holds := 0
-		if spec.Release > 0 {
-			// One synthetic dependency cleared by a clock event.
+		if spec.Release > 0 || cfg.Admission != nil {
 			holds = 1
-			s.releases = append(s.releases, release{id: spec.ID, at: spec.Release})
+			if spec.Release > 0 {
+				s.releases = append(s.releases, release{id: spec.ID, at: spec.Release})
+			} else {
+				s.admitStart = append(s.admitStart, spec.ID)
+			}
+		}
+		if cfg.Admission != nil {
+			s.tenantOf[spec.ID] = spec.Tenant
 		}
 		s.eng.Add(et, res.Deps, holds)
 	}
@@ -357,6 +394,10 @@ func New(cfg Config, specs []TaskSpec) (*Sim, error) {
 		// Downscale victims are cordoned through the engine, so the drain
 		// lands on the scheduler's books (and the trace) before removal.
 		cfg.Elastic.SetCordon(s.eng.DrainNode)
+	}
+	if cfg.Autoscale != nil {
+		// Same cordon route for every variant the autoscaler manages.
+		cfg.Autoscale.SetCordon(s.eng.DrainNode)
 	}
 	if cfg.Restore != nil {
 		if cfg.Restore.Format != checkpoint.Format {
@@ -459,6 +500,14 @@ func (s *Sim) applyRestore(snap *checkpoint.Snapshot) {
 		if s.eng.RestoreCompleted(rec.ID, rec.Epoch) {
 			restored++
 			s.remaining--
+			if s.cfg.Admission != nil {
+				// A restored task never runs, so it must never consume a
+				// quota slot: admitRelease skips it.
+				if s.restored == nil {
+					s.restored = make(map[int64]bool)
+				}
+				s.restored[rec.ID] = true
+			}
 		}
 	}
 	s.result.TasksRestored = restored
@@ -561,6 +610,16 @@ func (s *Sim) finish(id int64, ran time.Duration, epoch int) {
 	} else {
 		s.result.TasksReExecuted++
 	}
+	if s.cfg.Admission != nil && comp.First {
+		// The first completion returns the tenant's quota slot; promoted
+		// queue heads (possibly other tenants') get their holds lifted and
+		// join the deferred placement wave below.
+		for _, rel := range s.cfg.Admission.Complete(s.tenantOf[id]) {
+			if rid, ok := rel.Payload.(int64); ok {
+				s.eng.ReleaseHold(rid)
+			}
+		}
+	}
 	if s.ckpt != nil {
 		// Snapshot before the deferred placement wave, so an every-N
 		// policy captures the same post-completion, pre-placement state
@@ -568,6 +627,34 @@ func (s *Sim) finish(id int64, ran time.Duration, epoch int) {
 		s.ckpt.TaskCompleted()
 	}
 	s.deferSchedule()
+}
+
+// admitRelease makes one task visible to the scheduler, asking the
+// admission controller first when one is configured. A task the
+// controller queues keeps its synthetic hold; finish promotes it later.
+func (s *Sim) admitRelease(id int64) {
+	if s.restored[id] {
+		return // resolved from a snapshot; never ran, never admitted
+	}
+	if s.cfg.Admission == nil {
+		if s.eng.ReleaseHold(id) {
+			s.eng.Schedule()
+		}
+		return
+	}
+	switch s.cfg.Admission.Submit(s.tenantOf[id], id) {
+	case autoscale.Admitted:
+		if s.eng.ReleaseHold(id) {
+			s.eng.Schedule()
+		}
+	case autoscale.Queued:
+		s.eng.RecordAdmission(1, 0)
+	case autoscale.Rejected:
+		// Unreachable: New rejects bounded admission queues on this
+		// backend (a preregistered task has no client to bounce to, and
+		// dropping it would wedge the run).
+		s.eng.RecordAdmission(0, 1)
+	}
 }
 
 // deferSchedule coalesces scheduling: the first completion of a virtual
@@ -596,21 +683,28 @@ func (s *Sim) Run() (Result, error) {
 	if _, err := faults.Run(s.clock, s, script); err != nil {
 		return Result{}, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
-	// Arm release events.
+	// Arm release events (routed through admission when configured).
 	for _, r := range s.releases {
 		id := r.id
-		s.clock.At(r.at, func() {
-			if s.eng.ReleaseHold(id) {
-				s.eng.Schedule()
-			}
-		})
+		s.clock.At(r.at, func() { s.admitRelease(id) })
 	}
-	// Arm elasticity.
-	if s.cfg.Elastic != nil {
+	// Submit the un-delayed tasks to admission at time zero: an
+	// over-quota tenant's work queues here and surfaces only as
+	// completions free slots.
+	for _, id := range s.admitStart {
+		s.admitRelease(id)
+	}
+	// Arm elasticity (legacy single-tier manager or cost-aware
+	// autoscaler — New rejects configs with both).
+	if s.cfg.Elastic != nil || s.cfg.Autoscale != nil {
+		step := s.elasticStep
+		if s.cfg.Autoscale != nil {
+			step = func() { s.AutoscaleStep() }
+		}
 		var tick func()
 		tick = func() {
 			if s.remaining > 0 {
-				s.elasticStep()
+				step()
 				s.clock.After(s.cfg.ElasticEvery, tick)
 			}
 		}
@@ -797,6 +891,56 @@ func (s *Sim) elasticStep() {
 		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.NodeRemoved, Node: victim.Name()})
 	case resources.Hold:
 	}
+}
+
+// AutoscaleStep runs one cost-aware autoscale evaluation against the
+// engine's current signals and applies the decision, with the same
+// provisioning-delay modelling and node-seconds bookkeeping as
+// elasticStep. Run arms it on the ElasticEvery period; it is exported
+// so tests (the sim-vs-live parity suite in particular) can drive
+// evaluations at instants they control instead of riding the ticker.
+func (s *Sim) AutoscaleStep() autoscale.Action {
+	act := s.cfg.Autoscale.Step(s.cfg.Pool, autoscale.Snapshot(s.eng, s.cfg.Pool, s.clock.Now()))
+	switch act.Kind {
+	case autoscale.Reclaimed:
+		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.NodeUndrained, Node: act.Node.Name()})
+		s.eng.RevalidateAvailability()
+	case autoscale.Grew:
+		node := act.Node
+		s.nodeAdded[node.Name()] = s.clock.Now()
+		if s.cfg.Pool.Len() > s.result.PeakNodes {
+			s.result.PeakNodes = s.cfg.Pool.Len()
+		}
+		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.NodeAdded, Node: node.Name()})
+		if act.Delay <= 0 {
+			// Instant provisioning: capacity is usable in this very
+			// wave, exactly as it is on the live backend — the symmetry
+			// the parity suite depends on.
+			s.eng.RevalidateAvailability()
+			return act
+		}
+		// Model the provisioning delay by blocking the whole node.
+		hold := resources.Constraints{
+			Cores:    node.Desc().Cores,
+			MemoryMB: node.Desc().MemoryMB,
+			GPUs:     node.Desc().GPUs,
+		}
+		if err := node.Reserve(hold); err == nil {
+			s.clock.After(act.Delay, func() {
+				node.Release(hold)
+				s.eng.RevalidateAvailability()
+			})
+		}
+	case autoscale.Removed:
+		victim := act.Node
+		added := s.nodeAdded[victim.Name()]
+		span := s.clock.Now() - added
+		s.acct.SetSpan(victim.Name(), victim.Desc(), span)
+		s.result.NodeSeconds += span.Seconds()
+		delete(s.nodeAdded, victim.Name())
+		s.cfg.Tracer.Record(trace.Event{At: s.clock.Now(), Kind: trace.NodeRemoved, Node: victim.Name()})
+	}
+	return act
 }
 
 // Now exposes the simulation clock (useful in tests).

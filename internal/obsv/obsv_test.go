@@ -68,14 +68,14 @@ func TestNilInstrumentsDiscard(t *testing.T) {
 func TestHistogramBucketEdges(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Histogram("h", "test", "", []float64{1, 2, 4})
-	h.Observe(1)                         // == bound 1 → bucket 0
-	h.Observe(math.Nextafter(1, 2))      // just above 1 → bucket 1
-	h.Observe(2)                         // == bound 2 → bucket 1
-	h.Observe(4)                         // == last bound → bucket 2
-	h.Observe(math.Nextafter(4, 5))      // just above last bound → +Inf
-	h.Observe(math.Inf(1))               // +Inf → +Inf bucket
-	h.Observe(0)                         // below first bound → bucket 0
-	h.Observe(math.Nextafter(2, 1))      // just below 2 → bucket 1
+	h.Observe(1)                    // == bound 1 → bucket 0
+	h.Observe(math.Nextafter(1, 2)) // just above 1 → bucket 1
+	h.Observe(2)                    // == bound 2 → bucket 1
+	h.Observe(4)                    // == last bound → bucket 2
+	h.Observe(math.Nextafter(4, 5)) // just above last bound → +Inf
+	h.Observe(math.Inf(1))          // +Inf → +Inf bucket
+	h.Observe(0)                    // below first bound → bucket 0
+	h.Observe(math.Nextafter(2, 1)) // just below 2 → bucket 1
 	want := []int64{2, 3, 1, 2}
 	got := h.BucketCounts()
 	if len(got) != len(want) {

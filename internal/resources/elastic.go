@@ -84,6 +84,12 @@ type ScalePolicy struct {
 	// IdleCoresToShrink triggers shrink when free cores exceed it and
 	// nothing is pending.
 	IdleCoresToShrink int
+	// CostPerNodeHour prices one node of this manager's tier in abstract
+	// cost units per hour — the tier-aware signal the cost-scoring
+	// autoscaler (internal/autoscale) ranks variants by. ElasticManager
+	// itself never reads it: legacy Evaluate stays cost-blind, which is
+	// exactly the baseline the autoscale benchmarks compare against.
+	CostPerNodeHour float64
 }
 
 // DefaultScalePolicy grows at 2 pending tasks per core and shrinks when a
@@ -160,6 +166,9 @@ func (m *ElasticManager) SetCordon(fn func(name string) error) {
 	m.cordon = fn
 }
 
+// Policy returns the manager's scale policy (bounds and tier cost).
+func (m *ElasticManager) Policy() ScalePolicy { return m.policy }
+
 // ElasticCount reports the nodes currently acquired by this manager.
 func (m *ElasticManager) ElasticCount() int {
 	m.mu.Lock()
@@ -172,6 +181,22 @@ func (m *ElasticManager) DrainingCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.draining)
+}
+
+// DrainedCount reports the cordoned nodes that have bled dry: removal
+// candidates ShrinkOne can reap without touching running work. A
+// cordoned node takes no placements, so leaving a drained one in the
+// pool buys nothing at full price.
+func (m *ElasticManager) DrainedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, d := range m.draining {
+		if d.Running() == 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // Evaluate decides whether the pool should grow, shrink or hold, given the

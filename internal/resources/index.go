@@ -469,3 +469,13 @@ func (si SigIndex) Len() int {
 	defer si.x.mu.Unlock()
 	return len(si.s.members)
 }
+
+// FitCount returns the number of members that currently fit the
+// signature's reference constraints (undrained, enough free capacity) —
+// the exact saturation counter the index maintains for O(1) no-capacity
+// waves, exported as the autoscaler's per-signature supply signal.
+func (si SigIndex) FitCount() int {
+	si.x.mu.Lock()
+	defer si.x.mu.Unlock()
+	return si.s.fitCount
+}

@@ -119,16 +119,19 @@ type MetricsReport struct {
 
 // Report is the full BENCH_scale.json document.
 type Report struct {
-	Schema        int              `json:"schema"`
-	Config        ConfigOut        `json:"config"`
-	Run           RunReport        `json:"run"`
-	WaveLatencyUS Quantiles        `json:"wave_latency_us"`
+	Schema        int                `json:"schema"`
+	Config        ConfigOut          `json:"config"`
+	Run           RunReport          `json:"run"`
+	WaveLatencyUS Quantiles          `json:"wave_latency_us"`
 	Latency       *latreport.Summary `json:"latency,omitempty"`
-	Checkpoint    CkptReport       `json:"checkpoint"`
-	Restore       *RestoreReport   `json:"restore,omitempty"`
-	Placement     *PlacementReport `json:"placement,omitempty"`
-	Contention    *MutexReport     `json:"mutex_contention,omitempty"`
-	Metrics       *MetricsReport   `json:"metrics,omitempty"`
+	Checkpoint    CkptReport         `json:"checkpoint"`
+	Restore       *RestoreReport     `json:"restore,omitempty"`
+	Placement     *PlacementReport   `json:"placement,omitempty"`
+	Contention    *MutexReport       `json:"mutex_contention,omitempty"`
+	Metrics       *MetricsReport     `json:"metrics,omitempty"`
+	// Autoscale is the cost-aware-vs-legacy scaling comparison
+	// (autoscale.go); regenerate with flowgo-sim -autoscale-bench.
+	Autoscale *AutoscaleReport `json:"autoscale,omitempty"`
 }
 
 // Schema is the report format version.

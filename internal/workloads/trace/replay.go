@@ -27,6 +27,7 @@ func (t *Trace) Specs() []infra.TaskSpec {
 			Constraints: r.Constraints(),
 			Accesses:    r.accesses(),
 			Release:     r.Submit(),
+			Tenant:      r.Tenant,
 		}
 		if len(r.Writes) > 0 {
 			spec.OutputBytes = make(map[deps.DataID]int64, len(r.Writes))
@@ -134,7 +135,7 @@ func ReplayLive(rt *core.Runtime, t *Trace, o LiveOptions) ([]*core.Future, erro
 			for _, w := range r.Writes {
 				params = append(params, core.Param{Handle: h(w.Data), Dir: deps.Out, Size: w.Bytes})
 			}
-			reqs[ci][ri] = core.TaskReq{Name: name, Params: params}
+			reqs[ci][ri] = core.TaskReq{Name: name, Params: params, Tenant: r.Tenant}
 		}
 	}
 
